@@ -1,0 +1,32 @@
+"""Shared benchmark configuration.
+
+Every experiment benchmark prints the regenerated table/figure via
+``emit()`` so ``pytest benchmarks/ --benchmark-only -s`` doubles as the
+paper-reproduction report.  Scale is controlled by ``REPRO_BENCH_SCALE``:
+
+* ``quick`` (default) — minutes: trimmed grids, 32-node clusters.
+* ``full``  — the whole DESIGN.md §4 grid including 128-node clusters.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "quick").lower()
+if SCALE not in ("quick", "full"):
+    raise ValueError(f"REPRO_BENCH_SCALE must be quick|full, got {SCALE!r}")
+
+FULL = SCALE == "full"
+
+
+def emit(text: str) -> None:
+    """Print a rendered experiment artifact into the bench output."""
+    print()
+    print(text)
+
+
+@pytest.fixture(scope="session")
+def scale() -> str:
+    return SCALE

@@ -1,0 +1,101 @@
+"""Ablations: disk-slice granularity and master-count robustness.
+
+Completes DESIGN.md §6:
+
+* **Disk round-robin slice size** — a simulator fidelity/cost knob: bigger
+  slices mean fewer events but coarser disk sharing.  The results should
+  be *insensitive* within a sane range (validating the default of 4
+  pages), while the event count drops with slice size.
+* **m ± Δ robustness** — complements Figure 5: perturbing the Theorem-1
+  master count by one node should move the stretch only modestly near the
+  optimum (the design is not knife-edged).
+"""
+
+from benchmarks.conftest import FULL, emit
+from repro.analysis.experiments import iso_load_rate
+from repro.analysis.reporting import format_table
+from repro.analysis.sweep import choose_masters
+from repro.core.policies import make_ms
+from repro.sim.config import paper_sim_config
+from repro.workload.generator import generate_trace
+from repro.workload.replay import pretrain_sampler, replay
+from repro.workload.traces import ADL, KSU
+
+SLICES = (1, 2, 4, 8, 16)
+
+
+def test_disk_slice_granularity(benchmark):
+    """ADL (disk-bound) is the sensitive case for disk sharing."""
+    p, m = 16, 2
+    r = 1 / 40
+    lam = iso_load_rate(ADL, 1200.0, r, p, 0.8)
+    duration = 12.0 if FULL else 8.0
+    trace = generate_trace(ADL, rate=lam, duration=duration, r=r, seed=9)
+    sampler = pretrain_sampler(trace)
+
+    def run_all():
+        out = {}
+        for pages in SLICES:
+            cfg = paper_sim_config(num_nodes=p, seed=10)
+            cfg.disk.pages_per_slice = pages
+            result = replay(cfg.validate(), make_ms(p, m, sampler, seed=11),
+                            trace)
+            out[pages] = (result.report,
+                          result.cluster.engine.processed)
+        return out
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    rows = [[pages, report.overall.stretch,
+             report.static.p95_response * 1000, events]
+            for pages, (report, events) in results.items()]
+    emit(format_table(
+        ["pages/slice", "stretch", "static p95 (ms)", "events"],
+        rows,
+        title=("Ablation: disk round-robin slice size "
+               f"(ADL, p={p}, util=0.8)"),
+    ))
+
+    # Fidelity: results stay within a modest band across slice sizes.
+    stretches = [report.overall.stretch
+                 for report, _ in results.values()]
+    assert max(stretches) <= 1.5 * min(stretches)
+    # Cost: bigger slices really do shrink the event count.
+    assert results[16][1] < results[1][1]
+
+
+def test_master_count_robustness(benchmark):
+    """Stretch as a function of m around the Theorem-1 choice."""
+    p = 16
+    r = 1 / 40
+    lam = iso_load_rate(KSU, 1200.0, r, p, 0.75)
+    duration = 12.0 if FULL else 8.0
+    trace = generate_trace(KSU, rate=lam, duration=duration, r=r, seed=12)
+    sampler = pretrain_sampler(trace)
+    m_star = choose_masters(KSU, lam, 1200.0, r, p)
+
+    def run_all():
+        out = {}
+        for m in sorted({max(1, m_star - 2), max(1, m_star - 1), m_star,
+                         min(p - 1, m_star + 1), min(p - 1, m_star + 2)}):
+            report = replay(paper_sim_config(p, seed=13),
+                            make_ms(p, m, sampler, seed=14), trace).report
+            out[m] = report.overall.stretch
+        return out
+
+    stretches = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    rows = [[m, s, "<- Theorem 1" if m == m_star else ""]
+            for m, s in stretches.items()]
+    emit(format_table(
+        ["m", "stretch", ""],
+        rows,
+        title=(f"Ablation: master count m around the Theorem-1 pick "
+               f"(KSU, p={p}, util=0.75)"),
+    ))
+
+    best = min(stretches.values())
+    # The analytic pick is near-optimal among its neighbours...
+    assert stretches[m_star] <= 1.3 * best
+    # ...and one-node perturbations are not catastrophic.
+    for m, s in stretches.items():
+        if abs(m - m_star) <= 1:
+            assert s <= 2.0 * best, (m, s)

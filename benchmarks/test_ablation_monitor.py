@@ -1,0 +1,57 @@
+"""Ablation: load-information staleness.
+
+DESIGN.md §6: the scheduler sees rstat()-style snapshots that are up to one
+monitoring period old.  This bench sweeps the period to show how stale load
+views erode the M/S scheduler's placement quality, and that the
+outstanding-dispatch correction keeps the collapse graceful.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import FULL, emit
+from repro.analysis.experiments import iso_load_rate
+from repro.analysis.reporting import format_table
+from repro.core.policies import make_ms
+from repro.sim.config import paper_sim_config
+from repro.workload.generator import generate_trace
+from repro.workload.replay import pretrain_sampler, replay
+from repro.workload.traces import KSU
+
+PERIODS = (0.05, 0.2, 1.0, 5.0)
+
+
+def test_ablation_monitor_staleness(benchmark):
+    p, m = 16, 3
+    r = 1 / 40
+    lam = iso_load_rate(KSU, 1200.0, r, p, 0.85)
+    duration = 12.0 if FULL else 8.0
+    seeds = (3, 4) if FULL else (3,)
+
+    def run_all():
+        means = {}
+        for period in PERIODS:
+            vals = []
+            for seed in seeds:
+                cfg = paper_sim_config(num_nodes=p, seed=seed)
+                cfg.monitor.period = period
+                trace = generate_trace(KSU, rate=lam, duration=duration,
+                                       mu_h=1200.0, r=r, seed=seed)
+                sampler = pretrain_sampler(trace, seed=seed)
+                policy = make_ms(p, m, sampler, seed=seed + 9)
+                vals.append(replay(cfg, policy, trace)
+                            .report.overall.stretch)
+            means[period] = float(np.mean(vals))
+        return means
+
+    means = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    base = means[PERIODS[0]]
+    emit(format_table(
+        ["monitor period (s)", "stretch", "vs freshest"],
+        [[f"{k:.2f}", v, f"{100 * (v / base - 1):+.0f}%"]
+         for k, v in means.items()],
+        title=f"Ablation: load-monitor staleness (KSU, p={p}, util=0.85)",
+    ))
+
+    # Very stale info must not catastrophically collapse the scheduler
+    # (the outstanding-dispatch correction carries most of the signal).
+    assert means[5.0] < 4.0 * means[PERIODS[0]]

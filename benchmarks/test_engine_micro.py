@@ -1,0 +1,68 @@
+"""Microbenchmarks of the simulation substrate itself.
+
+These are true pytest-benchmark timings (multiple rounds): event-loop
+throughput, replay throughput and policy routing cost.  They guard against
+performance regressions that would make the experiment grids impractical.
+"""
+
+import numpy as np
+
+from repro.core.policies import make_ms
+from repro.core.rsrc import select_min_rsrc
+from repro.sim.cluster import Cluster
+from repro.sim.config import paper_sim_config
+from repro.sim.engine import Engine
+from repro.workload.generator import generate_trace
+from repro.workload.replay import pretrain_sampler, replay
+from repro.workload.traces import UCB
+
+
+def test_engine_event_throughput(benchmark):
+    def schedule_and_run():
+        eng = Engine()
+        for i in range(10_000):
+            eng.schedule((i % 997) / 1000.0, _noop)
+        eng.run()
+        return eng.processed
+
+    processed = benchmark(schedule_and_run)
+    assert processed == 10_000
+
+
+def _noop():
+    pass
+
+
+def test_replay_throughput(benchmark):
+    """End-to-end simulated requests per wall-second on an 8-node cluster."""
+    trace = generate_trace(UCB, rate=400, duration=5.0, seed=1)
+    sampler = pretrain_sampler(trace)
+
+    def run():
+        cfg = paper_sim_config(num_nodes=8, seed=1)
+        return replay(cfg, make_ms(8, 3, sampler, seed=2), trace,
+                      warmup_fraction=0.0).report.completed
+
+    completed = benchmark(run)
+    assert completed == len(trace)
+
+
+def test_rsrc_selection_cost(benchmark):
+    """Routing cost of one min-RSRC pick across a 128-node view."""
+    rng = np.random.default_rng(0)
+    cpu = rng.uniform(0.1, 1.0, size=128)
+    disk = rng.uniform(0.1, 1.0, size=128)
+    candidates = np.arange(128)
+
+    pick = benchmark(select_min_rsrc, 0.7, cpu, disk, candidates)
+    assert 0 <= pick < 128
+
+
+def test_cluster_construction_cost(benchmark):
+    """Building a 128-node cluster should be cheap enough to do per run."""
+    def build():
+        return Cluster(paper_sim_config(num_nodes=128, seed=1),
+                       make_ms(128, 16, seed=2))
+
+    cluster = benchmark(build)
+    assert len(cluster.nodes) == 128

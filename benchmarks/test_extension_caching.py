@@ -1,0 +1,68 @@
+"""Extension bench: CGI result caching (the Swala substrate).
+
+Not a paper table — the paper defers caching to its Swala work.  Sweeps
+cache capacity on a Zipf-query search workload; dynamic mean response
+should fall monotonically toward the all-hits floor, while static service
+is untouched or improves (hits keep CGI load off the slaves).
+"""
+
+from benchmarks.conftest import FULL, emit
+from repro.analysis.reporting import format_table
+from repro.core.caching import CachingMSPolicy, CGICache
+from repro.core.policies import make_ms
+from repro.sim.config import paper_sim_config
+from repro.workload.generator import generate_trace
+from repro.workload.replay import pretrain_sampler, replay
+from repro.workload.traces import KSU
+
+CAPACITIES = (50, 200, 1000)
+
+
+def test_cache_capacity_sweep(benchmark):
+    p, m, rate = 16, 3, 900.0
+    duration = 15.0 if FULL else 10.0
+    trace = generate_trace(KSU, rate=rate, duration=duration, r=1 / 40,
+                           seed=1, cacheable_fraction=0.7,
+                           distinct_queries=2000, zipf_s=1.1)
+    sampler = pretrain_sampler(trace)
+
+    def run_all():
+        rows = {}
+        base = replay(paper_sim_config(num_nodes=p, seed=2),
+                      make_ms(p, m, sampler, seed=3), trace).report
+        rows["none"] = (base, None)
+        for cap in CAPACITIES:
+            cache = CGICache(capacity=cap, ttl=120.0)
+            report = replay(
+                paper_sim_config(num_nodes=p, seed=2),
+                CachingMSPolicy(p, m, cache, sampler=sampler, seed=3),
+                trace).report
+            rows[str(cap)] = (report, cache.stats.hit_ratio)
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    table = []
+    for label, (report, ratio) in rows.items():
+        table.append([
+            label, "-" if ratio is None else f"{ratio:.2f}",
+            report.dynamic.mean_response * 1000,
+            report.dynamic.p95_response * 1000,
+            report.static.mean_response * 1000,
+        ])
+    emit(format_table(
+        ["cache entries", "hit ratio", "dyn mean (ms)", "dyn p95 (ms)",
+         "static mean (ms)"],
+        table,
+        title="Extension: CGI result cache sweep (KSU search workload)",
+    ))
+
+    dyn_means = [rows[k][0].dynamic.mean_response
+                 for k in ("none",) + tuple(str(c) for c in CAPACITIES)]
+    # Monotone improvement as the cache grows (allow 5% noise).
+    for before, after in zip(dyn_means, dyn_means[1:]):
+        assert after <= before * 1.05
+    # The largest cache cuts dynamic latency substantially.
+    assert dyn_means[-1] < 0.7 * dyn_means[0]
+    # Hit ratio grows with capacity.
+    ratios = [rows[str(c)][1] for c in CAPACITIES]
+    assert ratios == sorted(ratios)

@@ -1,0 +1,95 @@
+"""Extension bench: failure masking (paper Sections 1-2 motivation).
+
+Not a paper table — the paper motivates but never measures fault
+tolerance.  This bench quantifies the argument it makes in prose: a
+switch-fronted M/S cluster hides a slave crash from clients, while DNS
+rotation with cached client IPs keeps steering requests at the corpse,
+costing every such client a multi-second retry.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import FULL, emit
+from repro.analysis.reporting import format_table
+from repro.core.policies import FlatPolicy, make_ms
+from repro.sim.cluster import Cluster
+from repro.sim.config import paper_sim_config
+from repro.sim.failures import FailureInjector
+from repro.workload.generator import generate_trace
+from repro.workload.replay import pretrain_sampler
+from repro.workload.traces import UCB
+
+
+def test_failover_ms_vs_dns(benchmark):
+    p, rate = 8, 600.0
+    duration = 20.0 if FULL else 12.0
+    trace = generate_trace(UCB, rate=rate, duration=duration, r=1 / 80,
+                           seed=1)
+    sampler = pretrain_sampler(trace)
+
+    def run_all():
+        out = {}
+        for label, policy in [
+            ("M/S + switch", make_ms(p, 3, sampler, seed=2)),
+            ("flat + DNS", FlatPolicy(p, seed=2, failure_aware=False)),
+        ]:
+            cluster = Cluster(paper_sim_config(num_nodes=p, seed=3), policy)
+            FailureInjector(cluster).crash(node_id=p - 2,
+                                           at=duration / 3,
+                                           duration=duration / 3)
+            cluster.submit_many(trace)
+            cluster.run(until=duration + 120.0)
+            report = cluster.metrics.report()
+            out[label] = (report, cluster.denied_attempts,
+                          cluster.restarted_requests)
+        return out
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    rows = []
+    for label, (report, denied, restarted) in results.items():
+        rows.append([label, report.completed, report.overall.stretch,
+                     report.overall.p95_response * 1000, denied, restarted])
+    emit(format_table(
+        ["front end", "completed", "stretch", "p95 (ms)", "denied",
+         "restarted"],
+        rows, title="Extension: slave crash masking (UCB, p=8, 1 crash)",
+    ))
+
+    ms_report, ms_denied, _ = results["M/S + switch"]
+    dns_report, dns_denied, _ = results["flat + DNS"]
+    # Nobody loses requests outright...
+    assert ms_report.completed == dns_report.completed
+    # ...but only DNS clients hit the dead node,
+    assert ms_denied == 0
+    assert dns_denied > 0
+    # and those retries wreck DNS's tail/stretch.
+    assert dns_report.overall.stretch > 3 * ms_report.overall.stretch
+
+
+def test_failover_availability_under_crashloop(benchmark):
+    """Random crash/repair churn: the M/S cluster keeps completing
+    everything as long as capacity survives."""
+    p, rate = 8, 400.0
+    duration = 20.0 if FULL else 10.0
+    trace = generate_trace(UCB, rate=rate, duration=duration, r=1 / 40,
+                           seed=4)
+
+    def run():
+        policy = make_ms(p, 3, pretrain_sampler(trace), seed=5)
+        cluster = Cluster(paper_sim_config(num_nodes=p, seed=6), policy)
+        injector = FailureInjector(cluster)
+        crashes = injector.random_crashes(
+            rate=0.3, horizon=duration, mttr=2.0,
+            rng=np.random.default_rng(7),
+            nodes=range(3, p))  # only slaves crash
+        cluster.submit_many(trace)
+        cluster.run(until=duration + 180.0)
+        return cluster, crashes
+
+    cluster, crashes = benchmark.pedantic(run, rounds=1, iterations=1)
+    report = cluster.metrics.report()
+    emit(f"crashloop: {crashes} crashes, "
+         f"{cluster.restarted_requests} requests restarted, "
+         f"{report.completed}/{len(trace)} completed, "
+         f"stretch {report.overall.stretch:.2f}")
+    assert report.completed == len(trace)

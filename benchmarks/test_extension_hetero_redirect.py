@@ -1,0 +1,100 @@
+"""Extension benches: heterogeneous clusters and redirection rescheduling.
+
+* **Heterogeneity** — the paper's conclusion announces an extension "for
+  managing heterogeneous nodes"; this bench shows min-RSRC placement
+  exploiting faster slaves (vs blind uniform dispatch, which cannot).
+* **Redirection** — quantifies the paper's stated reason for remote CGI
+  execution over SWEB-style HTTP redirection: a WAN round-trip per
+  rescheduled request.
+"""
+
+from benchmarks.conftest import FULL, emit
+from repro.analysis.reporting import format_table
+from repro.core.policies import FlatPolicy, RedirectMSPolicy, make_ms
+from repro.sim.config import SimConfig, paper_sim_config
+from repro.workload.generator import generate_trace
+from repro.workload.replay import pretrain_sampler, replay
+from repro.workload.traces import UCB
+
+
+def test_hetero_rsrc_exploits_fast_nodes(benchmark):
+    p = 8
+    speeds = (1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 3.0, 3.0)
+    rate = 1300.0
+    duration = 15.0 if FULL else 10.0
+    trace = generate_trace(UCB, rate=rate, duration=duration, r=1 / 40,
+                           seed=1)
+    sampler = pretrain_sampler(trace)
+
+    def run_all():
+        out = {}
+        for label, policy in [
+            ("M/S min-RSRC", make_ms(p, 2, sampler, seed=2)),
+            ("flat uniform", FlatPolicy(p, seed=2)),
+        ]:
+            cfg = SimConfig(num_nodes=p, cpu_speeds=speeds,
+                            seed=3).validate()
+            result = replay(cfg, policy, trace)
+            metrics = result.cluster.metrics
+            dyn_nodes = [n for n, k in zip(metrics.nodes, metrics.kinds)
+                         if k == 1]
+            fast_share = (sum(n in (6, 7) for n in dyn_nodes)
+                          / max(1, len(dyn_nodes)))
+            out[label] = (result.report, fast_share)
+        return out
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    rows = [[label, report.overall.stretch,
+             report.dynamic.mean_response * 1000, f"{share:.2f}"]
+            for label, (report, share) in results.items()]
+    emit(format_table(
+        ["policy", "stretch", "dyn mean (ms)", "CGI share on 3x nodes"],
+        rows,
+        title="Extension: heterogeneous cluster (2 of 8 nodes are 3x)",
+    ))
+
+    ms_report, ms_share = results["M/S min-RSRC"]
+    flat_report, flat_share = results["flat uniform"]
+    # RSRC steers disproportionate work to the fast nodes; uniform cannot.
+    assert ms_share > flat_share + 0.05
+    assert ms_report.overall.stretch < flat_report.overall.stretch
+
+
+def test_redirection_vs_remote_execution(benchmark):
+    p, m = 8, 3
+    rate = 800.0
+    duration = 15.0 if FULL else 10.0
+    trace = generate_trace(UCB, rate=rate, duration=duration, r=1 / 40,
+                           seed=4)
+    sampler = pretrain_sampler(trace)
+
+    def run_all():
+        out = {}
+        remote = replay(paper_sim_config(num_nodes=p, seed=5),
+                        make_ms(p, m, sampler, seed=6), trace).report
+        out["remote exec (1 ms)"] = (remote, remote.remote_dispatches)
+        for rtt_ms in (40, 80, 160):
+            policy = RedirectMSPolicy(p, m, client_rtt=rtt_ms / 1000.0,
+                                      sampler=sampler, seed=6)
+            report = replay(paper_sim_config(num_nodes=p, seed=5), policy,
+                            trace).report
+            out[f"redirect ({rtt_ms} ms RTT)"] = (report, policy.redirects)
+        return out
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    rows = [[label, report.dynamic.mean_response * 1000,
+             report.overall.stretch, moved]
+            for label, (report, moved) in results.items()]
+    emit(format_table(
+        ["rescheduling", "dyn mean (ms)", "stretch", "rescheduled"],
+        rows,
+        title="Extension: remote CGI execution vs HTTP redirection",
+    ))
+
+    base = results["remote exec (1 ms)"][0].dynamic.mean_response
+    prev = base
+    for rtt_ms in (40, 80, 160):
+        cur = results[f"redirect ({rtt_ms} ms RTT)"][0].dynamic.mean_response
+        assert cur > base            # any WAN RTT loses to remote exec
+        assert cur >= prev * 0.95    # and it gets worse with distance
+        prev = cur

@@ -1,0 +1,42 @@
+"""FIG3 — analytic improvement of M/S over the flat model and over M/S'.
+
+Paper reference (Figure 3, Section 3): with lam=1000, p=32, mu_h=1200,
+a in {2/8, 3/7, 4/6} and r in {1/10..1/80}, M/S beats the flat model by up
+to ~60%, and the gap grows with the CGI cost 1/r and with the dynamic share
+a.
+
+Reproduction note: in the self-consistent processor-sharing model the
+*optimal* M/S' degenerates to the flat configuration (see
+tests/test_queuing.py::TestMSPrime), so our Figure-3(b) numbers coincide
+with Figure-3(a); the paper's separate <=18% M/S' curve is not derivable
+from the recoverable formulas (EXPERIMENTS.md discusses this).
+"""
+
+from benchmarks.conftest import emit
+from repro.analysis.experiments import FIG3_A_VALUES, run_fig3
+
+
+def test_fig3_improvement_curves(benchmark):
+    result = benchmark.pedantic(run_fig3, rounds=1, iterations=1)
+    emit(result.render())
+
+    # Shape: improvement grows monotonically with 1/r for every a.
+    for a in FIG3_A_VALUES:
+        values = [v for _, v in result.series(a, "flat")]
+        assert values == sorted(values)
+
+    # Magnitude: the paper reports "up to 60%" over flat at this grid.
+    peak = result.max_improvement("flat")
+    assert 40.0 <= peak <= 90.0, peak
+
+    # Crossover structure: larger a gives larger peak improvement.
+    peaks = [max(v for _, v in result.series(a, "flat"))
+             for a in FIG3_A_VALUES]
+    assert peaks == sorted(peaks)
+
+
+def test_fig3_optimal_masters_shrink_with_cgi_cost(benchmark):
+    result = benchmark.pedantic(run_fig3, rounds=1, iterations=1)
+    for a in FIG3_A_VALUES:
+        ms = [row.m_opt for row in result.rows if abs(row.a - a) < 1e-12]
+        assert ms == sorted(ms, reverse=True)

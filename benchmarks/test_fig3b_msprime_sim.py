@@ -1,0 +1,77 @@
+"""FIG3(b) — M/S vs M/S' — resolved empirically.
+
+The paper's Figure 3(b) claims M/S' (dynamic requests pinned to a few
+nodes, static spread over ALL nodes) beats flat but trails M/S.  In the
+self-consistent processor-sharing model this is impossible (convexity —
+see EXPERIMENTS.md D1), but the *simulator* carries the mixing costs the
+station model lacks: on an M/S' cluster only the k dynamic nodes suffer
+CGI memory pressure and disk queueing, so the (p-k)/p share of static
+requests landing elsewhere runs clean, while a flat cluster pollutes
+every node.
+
+This bench replays all three architectures and checks the paper's
+ordering empirically: flat >= M/S' >= roughly M/S (M/S' may edge M/S on
+disk-bound traces where masters buy little).
+"""
+
+from benchmarks.conftest import FULL, emit
+from repro.analysis.experiments import iso_load_rate
+from repro.analysis.reporting import format_table
+from repro.analysis.sweep import choose_masters
+from repro.core.policies import FlatPolicy, MSPrimePolicy, make_ms
+from repro.sim.config import paper_sim_config
+from repro.workload.generator import generate_trace
+from repro.workload.replay import pretrain_sampler, replay
+from repro.workload.traces import ADL, KSU, UCB
+
+CONFIGS = ((KSU, 40), (ADL, 40), (UCB, 80))
+
+
+def test_msprime_sits_between_flat_and_ms(benchmark):
+    p = 16
+    duration = 14.0 if FULL else 10.0
+
+    def run_all():
+        rows = []
+        for spec, inv_r in CONFIGS:
+            r = 1.0 / inv_r
+            lam = iso_load_rate(spec, 1200.0, r, p, 0.85)
+            trace = generate_trace(spec, rate=lam, duration=duration,
+                                   r=r, seed=3)
+            sampler = pretrain_sampler(trace)
+            m = choose_masters(spec, lam, 1200.0, r, p)
+            out = {}
+            for name, policy in [
+                ("MS", make_ms(p, m, sampler, seed=4)),
+                ("MSprime", MSPrimePolicy(p, p - m, sampler, seed=4)),
+                ("flat", FlatPolicy(p, seed=4)),
+            ]:
+                report = replay(paper_sim_config(p, seed=5), policy,
+                                trace).report
+                out[name] = report.overall.stretch
+            rows.append((spec.name, inv_r, m, out))
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    table = [[name, inv_r, m, out["MS"], out["MSprime"], out["flat"],
+              f"{100 * (out['flat'] / out['MSprime'] - 1):+.0f}%",
+              f"{100 * (out['MSprime'] / out['MS'] - 1):+.0f}%"]
+             for name, inv_r, m, out in rows]
+    emit(format_table(
+        ["trace", "1/r", "m", "S(MS)", "S(MS')", "S(flat)",
+         "MS'>flat", "MS>MS'"],
+        table,
+        title=("Figure 3(b), empirical: M/S' replayed in simulation "
+               f"(p={p}, util=0.85)"),
+    ))
+
+    # The paper's headline ordering: M/S' beats flat...
+    for name, inv_r, m, out in rows:
+        assert out["MSprime"] < out["flat"], (name, out)
+    # ...and full M/S is at least competitive with M/S' overall
+    # (geometric-mean ratio >= ~1, allowing trace-level crossovers).
+    import math
+
+    log_ratio = sum(math.log(out["MSprime"] / out["MS"])
+                    for _, _, _, out in rows) / len(rows)
+    assert log_ratio > -0.15  # M/S no more than ~14% behind on average

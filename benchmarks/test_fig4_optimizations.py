@@ -1,0 +1,57 @@
+"""FIG4 — simulated improvement of optimized M/S over its ablations.
+
+Paper reference (Figure 4, Section 5.2.1): on 32- and 128-node clusters
+across the UCB/KSU/ADL workloads and 1/r in {20..160},
+
+* M/S beats M/S-nr (no reservation) by up to 68%,
+* M/S beats M/S-ns (no demand sampling) by 5-22% (average 14%),
+* M/S-1 (no static/dynamic separation) can be up to 26% worse.
+
+Reproduction notes: rates are chosen iso-load (see
+``repro.analysis.experiments.FIG4_UTILIZATIONS``); the reservation and
+sampling gaps reproduce and peak at high load, while the M/S-1 gap is
+compressed to ~zero in our substrate because the BSD-style MLFQ and the
+cache-miss model already shield static requests on mixed nodes —
+EXPERIMENTS.md quantifies this divergence.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import FULL, emit
+from repro.analysis.experiments import run_fig4, run_table2
+
+
+def _grid():
+    if FULL:
+        return dict(p_values=(32, 128), inv_r_values=(20, 40, 80, 160),
+                    utilizations=(0.6, 0.75, 0.9), base_duration=10.0)
+    return dict(p_values=(32,), inv_r_values=(20, 80),
+                utilizations=(0.6, 0.9), base_duration=6.0)
+
+
+def test_fig4_ablation_improvements(benchmark):
+    grid = _grid()
+    result = benchmark.pedantic(run_fig4, kwargs=grid, rounds=1,
+                                iterations=1)
+    emit(run_table2(p_values=grid["p_values"],
+                    inv_r_values=grid["inv_r_values"],
+                    utilizations=grid["utilizations"]).render())
+    emit(result.render())
+
+    nr = np.array(result.improvements("MS-nr"))
+    ns = np.array(result.improvements("MS-ns"))
+    flat = np.array(result.improvements("Flat"))
+
+    # Reservation is the headline optimization: large positive gaps at the
+    # heavy end (paper: up to 68%).
+    assert nr.max() > 20.0, nr
+    assert np.median(nr) > -5.0
+
+    # Demand sampling helps on balance (paper: 5-22%, avg 14%; ours is
+    # noisier and smaller but must not hurt systematically).
+    assert ns.mean() > -5.0, ns
+    assert ns.max() > 5.0
+
+    # The optimized M/S clearly beats the flat architecture overall.
+    assert flat.max() > 30.0
+    assert np.median(flat) > 0.0

@@ -1,0 +1,70 @@
+"""FIG4 headline claims re-tested with confidence intervals.
+
+Single short replays are noisy; this bench repeats the two claims that
+carry the paper's conclusions over several seeds and requires the 95 %
+confidence interval to clear zero:
+
+* reservation pays at high load (M/S > M/S-nr),
+* the optimized M/S beats the flat architecture.
+"""
+
+from benchmarks.conftest import FULL, emit
+from repro.analysis.experiments import iso_load_rate
+from repro.analysis.reporting import format_table
+from repro.analysis.stats import run_bakeoff_multi
+from repro.workload.traces import ADL, KSU, UCB
+
+CONFIGS = (
+    (UCB, 80, 0.88),
+    (KSU, 40, 0.88),
+    (ADL, 40, 0.85),
+)
+
+
+def test_headline_claims_significant(benchmark):
+    p = 16
+    duration = 12.0 if FULL else 8.0
+    seeds = (1, 2, 3, 4, 5) if FULL else (1, 2, 3)
+
+    def run_all():
+        out = []
+        for spec, inv_r, util in CONFIGS:
+            lam = iso_load_rate(spec, 1200.0, 1.0 / inv_r, p, util)
+            out.append(run_bakeoff_multi(
+                spec, lam=lam, r=1.0 / inv_r, p=p, duration=duration,
+                seeds=seeds, policies=("MS", "MS-nr", "Flat")))
+        return out
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    rows = []
+    for multi in results:
+        rows.append([
+            multi.spec_name, int(multi.lam),
+            str(multi.stretch["MS"]),
+            f"{multi.improvement['MS-nr']} %",
+            f"{multi.improvement['Flat']} %",
+        ])
+    emit(format_table(
+        ["trace", "lam", "S(MS) ±CI", "vs MS-nr ±CI", "vs Flat ±CI"],
+        rows,
+        title=(f"Figure 4 headline claims, {len(results[0].results)} "
+               f"seeds, 95% CI (p={p})"),
+    ))
+
+    for multi in results:
+        # M/S must never be *significantly* worse than either baseline.
+        assert not multi.significantly_worse("MS-nr"), multi.spec_name
+        assert not multi.significantly_worse("Flat"), multi.spec_name
+
+    # And the wins must be positive where the paper claims them: with the
+    # quick grid's few seeds the t-intervals are wide, so require at least
+    # one CI-clear win per comparison plus positive means on a majority.
+    flat_sig = sum(m.significantly_better("Flat") for m in results)
+    flat_pos = sum(m.improvement["Flat"].mean > 0 for m in results)
+    nr_sig = sum(m.significantly_better("MS-nr") for m in results)
+    nr_pos = sum(m.improvement["MS-nr"].mean > 0 for m in results)
+    need_sig = 2 if FULL else 1
+    assert flat_sig >= need_sig and flat_pos >= 2, \
+        [str(m.improvement["Flat"]) for m in results]
+    assert nr_sig >= need_sig and nr_pos >= 2, \
+        [str(m.improvement["MS-nr"]) for m in results]

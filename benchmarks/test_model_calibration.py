@@ -1,0 +1,63 @@
+"""Calibration bench: simulator vs the Section-3 closed forms.
+
+Not a paper artifact, but the fidelity evidence behind all of them: with
+its OS features disabled, the simulator reproduces M/M/1 within a few
+percent; with two request classes, the size-based MLFQ makes the simulated
+count-weighted stretch *at most* the model's (the model assumes a
+discipline that does not privilege short jobs).  EXPERIMENTS.md leans on
+this table when explaining why some paper gaps compress in our substrate.
+"""
+
+from benchmarks.conftest import FULL, emit
+from repro.analysis.reporting import format_table
+from repro.analysis.validation import (
+    flat_cluster_calibration,
+    mm1_calibration,
+    ms_model_calibration,
+)
+from repro.core.queuing import Workload
+
+
+def test_simulator_matches_mm1(benchmark):
+    duration = 120.0 if FULL else 50.0
+
+    def run():
+        return mm1_calibration(rho_values=(0.3, 0.5, 0.7, 0.85),
+                               duration=duration, seed=3)
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(format_table(
+        ["rho", "1/(1-rho)", "simulated", "error %"],
+        [[f"{r.rho:.2f}", r.predicted, r.simulated,
+          100 * r.relative_error] for r in rows],
+        title="Calibration: clean simulator vs M/M/1",
+    ))
+    for row in rows:
+        # Heavy-traffic sample means converge like 1/((1-rho)*sqrt(T)), so
+        # the tolerance widens with rho.
+        tolerance = 0.06 if row.rho <= 0.75 else 0.20
+        assert row.relative_error < tolerance, row
+
+
+def test_two_class_models_upper_bound_simulator(benchmark):
+    duration = 60.0 if FULL else 25.0
+    w = Workload.from_ratios(lam=600, a=0.4, mu_h=1200, r=1 / 40, p=8)
+
+    def run():
+        flat = flat_cluster_calibration(w, duration=duration, seed=4)
+        ms = ms_model_calibration(w, m=2, theta=0.05, duration=duration,
+                                  seed=5)
+        return flat, ms
+
+    flat, ms = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(format_table(
+        ["system", "model", "simulated", "sim/model"],
+        [["flat (p=8)", flat.predicted, flat.simulated,
+          flat.simulated / flat.predicted],
+         ["M/S (m=2, theta=0.05)", ms.predicted, ms.simulated,
+          ms.simulated / ms.predicted]],
+        title=("Calibration: two-class cluster — the MLFQ dominates the "
+               "discipline-free model"),
+    ))
+    assert flat.simulated <= flat.predicted * 1.1
+    assert ms.simulated <= ms.predicted * 1.1

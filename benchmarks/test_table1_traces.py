@@ -1,0 +1,34 @@
+"""TAB1 — characteristics of the four Web traces (paper Table 1).
+
+The proprietary logs are substituted by synthetic generators; this bench
+regenerates each trace at its native rate and checks the measured
+statistics against the published row (request mix, mean interval, response
+sizes).
+"""
+
+import pytest
+
+from benchmarks.conftest import FULL, emit
+from repro.analysis.experiments import run_table1
+
+
+def test_table1_trace_statistics(benchmark):
+    n = 100_000 if FULL else 20_000
+    result = benchmark.pedantic(run_table1, kwargs={"n": n},
+                                rounds=1, iterations=1)
+    emit(result.render())
+
+    for row in result.rows:
+        assert row.got_pct_cgi == pytest.approx(row.spec_pct_cgi, abs=1.0)
+        assert row.got_interval == pytest.approx(row.spec_interval,
+                                                 rel=0.05)
+        assert row.got_html == pytest.approx(row.spec_html, rel=0.15)
+        assert row.got_cgi_size == pytest.approx(row.spec_cgi_size,
+                                                 rel=0.15)
+
+    # Ordering facts from the published table survive the synthesis:
+    by_name = {r.name: r for r in result.rows}
+    assert by_name["ADL"].got_pct_cgi > by_name["KSU"].got_pct_cgi \
+        > by_name["UCB"].got_pct_cgi > by_name["DEC"].got_pct_cgi
+    assert by_name["KSU"].got_html < by_name["ADL"].got_html \
+        < by_name["UCB"].got_html

@@ -1,0 +1,40 @@
+"""TAB3 — validation of the simulator against the (emulated) Sun cluster.
+
+Paper reference (Table 3, Section 5.2.2): replaying UCB/KSU/ADL on a
+6-node Sun Ultra-1 cluster (110 req/s per node, r~1/40, m=3/1/1) gives
+M/S-improvement ratios that match the simulator within ~3 percentage
+points, with the simulator slightly optimistic because it omits background
+jobs and un-modelled OS behaviour.
+
+Substitution: no Sun hardware exists here (and a real multi-process
+testbed on a single-core host would measure the host, not the algorithm),
+so "actual" is the testbed *emulator* — the same substrate degraded by
+background-job load and demand jitter, i.e. exactly the effects the paper
+blames for the gap.  The claim under test is the *agreement*, not the
+absolute improvements.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import FULL, emit
+from repro.analysis.experiments import run_table3
+
+
+def test_table3_simulator_vs_testbed(benchmark):
+    duration = 120.0 if FULL else 40.0
+    result = benchmark.pedantic(run_table3, kwargs={"duration": duration},
+                                rounds=1, iterations=1)
+    emit(result.render())
+
+    # Agreement: mean absolute gap within a few points (paper: ~3).
+    assert result.mean_abs_gap < 6.0
+
+    # Every individual comparison stays within a sane band.
+    gaps = np.array([row.gap for row in result.rows])
+    assert np.abs(gaps).max() < 20.0
+
+    # Both platforms must agree on the sign for the clear-cut cases
+    # (|improvement| > 5% on either platform).
+    for row in result.rows:
+        if abs(row.actual) > 5.0 and abs(row.simulated) > 5.0:
+            assert np.sign(row.actual) == np.sign(row.simulated), row

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Explore the Section-3 queuing model without running any simulation.
+
+For a CGI-heavy site this walks through:
+
+1. the flat architecture's stretch factor,
+2. Theorem 1's theta bounds for a range of master counts,
+3. the optimal (m, theta) design,
+4. how the optimal master count moves with the CGI cost ratio 1/r.
+
+Run:  python examples/analytic_model.py
+"""
+
+from repro import (
+    Workload,
+    flat_stretch,
+    min_masters,
+    ms_stretch,
+    optimal_masters,
+    reservation_ratio,
+    theta_bounds,
+)
+from repro.analysis.reporting import format_table
+
+
+def main() -> None:
+    # A 32-node cluster, 1000 req/s, 30% dynamic, CGI 40x as expensive.
+    w = Workload.from_ratios(lam=1000, a=3 / 7, mu_h=1200, r=1 / 40, p=32)
+    sf = flat_stretch(w)
+    print(f"workload: a={w.a:.3f}, r={w.r:.4f}, rho={w.rho:.2f}, "
+          f"offered={w.total_offered:.1f} of p={w.p}")
+    print(f"flat architecture stretch SF = {sf:.3f}\n")
+
+    rows = []
+    for m in (2, 4, 6, 8, 12, 16, 24):
+        try:
+            t1, t2 = theta_bounds(w, m)
+        except (ValueError, ArithmeticError):
+            continue
+        theta = max((t1 + t2) / 2, 0.0)
+        sm = ms_stretch(w, m, min(theta, 1.0))
+        rows.append([m, t1, t2, theta, sm.total, sm.master, sm.slave,
+                     reservation_ratio(w.a, w.r, m, w.p)])
+    print(format_table(
+        ["m", "theta1", "theta2", "theta_m", "SM", "S_master", "S_slave",
+         "reservation"],
+        rows, title="Theorem 1 across master counts", floatfmt="{:.3f}",
+    ))
+
+    best = optimal_masters(w)
+    print(f"\noptimal design: m={best.m}, theta={best.theta:.3f}, "
+          f"SM={best.sm:.3f}  ->  {100 * (sf / best.sm - 1):.0f}% better "
+          f"than flat")
+    print(f"minimum master count for M/S to be able to win: "
+          f"{min_masters(w)}")
+
+    print("\nOptimal master count vs CGI cost (lam=1000, a=3/7, p=32):")
+    rows = []
+    for inv_r in (10, 20, 40, 80, 120):
+        wr = Workload.from_ratios(lam=1000, a=3 / 7, mu_h=1200,
+                                  r=1.0 / inv_r, p=32)
+        if not wr.feasible:
+            rows.append([inv_r, "-", "-", "-", "overloaded"])
+            continue
+        d = optimal_masters(wr)
+        rows.append([inv_r, d.m, f"{d.theta:.3f}", f"{d.sm:.3f}",
+                     f"{100 * (flat_stretch(wr) / d.sm - 1):.0f}%"])
+    print(format_table(["1/r", "m*", "theta*", "SM*", "vs flat"], rows))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,145 @@
+"""repro — reproduction of "Scheduling Optimization for Resource-Intensive
+Web Requests on Server Clusters" (Zhu, Smith & Yang, SPAA 1999).
+
+Subpackages
+-----------
+``repro.core``
+    The paper's contribution: the stretch-factor metric, the multi-class
+    queuing models for the flat and master/slave architectures, Theorem 1
+    (master sizing and the theta bounds), RSRC cost prediction, offline
+    demand sampling, the adaptive reservation controller, and the dispatch
+    policies (M/S and its ablations).
+``repro.sim``
+    The trace-driven cluster simulator: event engine, BSD-style CPU
+    scheduler, round-robin disk, demand-paged VM, nodes, load monitor,
+    cluster assembly and metrics.
+``repro.workload``
+    Table-1 trace specs, SPECweb96 file mix, CGI demand profiles, synthetic
+    trace generation and replay helpers.
+``repro.testbed``
+    The noisy "hardware testbed" emulator standing in for the paper's
+    6-node Sun cluster (Table 3 validation).
+``repro.analysis``
+    Experiment harnesses regenerating every table and figure.
+
+Quickstart
+----------
+>>> from repro import Workload, optimal_masters
+>>> w = Workload.from_ratios(lam=750, a=0.25, mu_h=1200, r=1/40, p=32)
+>>> design = optimal_masters(w)
+>>> design.m >= 1
+True
+"""
+
+from repro.analysis.planner import (
+    ClusterPlan,
+    headroom,
+    max_sustainable_rate,
+    size_cluster,
+)
+from repro.core.caching import CachingMSPolicy, CGICache
+from repro.core.hetero import (
+    HeteroDesign,
+    hetero_flat_stretch,
+    hetero_ms_stretch,
+    hetero_reservation_ratio,
+    optimal_masters_hetero,
+)
+from repro.core.policies import (
+    DNSAffinityPolicy,
+    FlatPolicy,
+    HeteroMSPolicy,
+    LeastActivePolicy,
+    MSPolicy,
+    MSPrimePolicy,
+    Policy,
+    RedirectMSPolicy,
+    Route,
+    RoundRobinPolicy,
+    make_ms,
+    make_ms_1,
+    make_ms_ns,
+    make_ms_nr,
+    make_policy,
+)
+from repro.core.queuing import (
+    MSStretch,
+    Workload,
+    best_msprime,
+    flat_stretch,
+    ms_stretch,
+    msprime_stretch,
+)
+from repro.core.reservation import ReservationConfig, ReservationController
+from repro.core.rsrc import rsrc_cost, select_min_rsrc
+from repro.core.sampling import DemandSampler
+from repro.core.stretch import combine_stretch, improvement_percent, stretch_factor
+from repro.core.theorem import (
+    MSDesign,
+    min_masters,
+    optimal_masters,
+    reservation_ratio,
+    theta_bounds,
+    theta_opt,
+)
+from repro.sim.cluster import Cluster
+from repro.sim.config import (
+    ConnectionConfig,
+    SimConfig,
+    paper_sim_config,
+    testbed_sim_config,
+)
+from repro.sim.failures import (
+    FailureInjector,
+    FailurePolicy,
+    RecruitmentSchedule,
+)
+from repro.sim.metrics import MetricsReport
+from repro.workload.clf import CLFImportOptions, import_clf
+from repro.workload.generator import generate_trace, trace_statistics
+from repro.workload.io import load_trace, save_trace
+from repro.workload.sessions import SessionConfig, sessionize
+from repro.workload.replay import ReplayResult, pretrain_sampler, replay
+from repro.workload.request import Request, RequestKind
+from repro.workload.traces import (
+    ADL,
+    DEC,
+    EXPERIMENT_TRACES,
+    KSU,
+    TRACES,
+    UCB,
+    get_trace,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # core
+    "Policy", "Route", "FlatPolicy", "RoundRobinPolicy", "LeastActivePolicy",
+    "DNSAffinityPolicy",
+    "MSPolicy", "MSPrimePolicy", "RedirectMSPolicy", "HeteroMSPolicy",
+    "CGICache", "CachingMSPolicy",
+    "make_ms", "make_ms_ns", "make_ms_nr", "make_ms_1", "make_policy",
+    "Workload", "MSStretch", "flat_stretch", "ms_stretch",
+    "msprime_stretch", "best_msprime",
+    "MSDesign", "optimal_masters", "theta_bounds", "theta_opt",
+    "min_masters", "reservation_ratio",
+    "HeteroDesign", "optimal_masters_hetero", "hetero_ms_stretch",
+    "hetero_flat_stretch", "hetero_reservation_ratio",
+    "rsrc_cost", "select_min_rsrc", "DemandSampler",
+    "ReservationController", "ReservationConfig",
+    "stretch_factor", "combine_stretch", "improvement_percent",
+    "ClusterPlan", "size_cluster", "max_sustainable_rate", "headroom",
+    # sim
+    "Cluster", "SimConfig", "ConnectionConfig", "paper_sim_config",
+    "testbed_sim_config",
+    "MetricsReport",
+    "FailurePolicy", "FailureInjector", "RecruitmentSchedule",
+    # workload
+    "Request", "RequestKind", "generate_trace", "trace_statistics",
+    "replay", "ReplayResult", "pretrain_sampler",
+    "save_trace", "load_trace", "import_clf", "CLFImportOptions",
+    "sessionize", "SessionConfig",
+    "TRACES", "EXPERIMENT_TRACES", "DEC", "UCB", "KSU", "ADL", "get_trace",
+    "__version__",
+]

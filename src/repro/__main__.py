@@ -1,0 +1,6 @@
+"""Entry point: ``python -m repro <command>``."""
+
+from repro.analysis.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

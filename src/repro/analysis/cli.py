@@ -1,0 +1,231 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``design``
+    Theorem-1 sizing for a workload: optimal master count, theta bounds,
+    predicted stretch factors.
+``trace``
+    Generate a synthetic trace (optionally saving it to JSON Lines).
+``replay``
+    Run one trace (generated or loaded) through a cluster under a policy
+    and print the metrics report.
+``fig3 / table1 / table2 / fig4 / fig5 / table3``
+    Regenerate the paper's artifacts (quick grids; see benchmarks/ for the
+    asserting versions).
+``calibrate``
+    Check the clean simulator against M/M/1.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis import experiments
+from repro.analysis.reporting import format_table
+from repro.analysis.sweep import choose_masters
+from repro.analysis.validation import mm1_calibration
+from repro.core.policies import make_policy
+from repro.core.queuing import Workload, flat_stretch
+from repro.core.theorem import optimal_masters, theta_bounds
+from repro.sim.config import paper_sim_config
+from repro.workload.generator import generate_trace, trace_statistics
+from repro.workload.io import load_trace, save_trace
+from repro.workload.replay import pretrain_sampler, replay
+from repro.workload.traces import get_trace
+
+
+def _add_workload_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--trace", default="UCB",
+                        help="trace spec name (UCB/KSU/ADL/DEC)")
+    parser.add_argument("--rate", type=float, default=800.0,
+                        help="arrival rate, requests/second")
+    parser.add_argument("--duration", type=float, default=10.0,
+                        help="trace span in virtual seconds")
+    parser.add_argument("--inv-r", type=float, default=40.0,
+                        help="CGI cost ratio 1/r")
+    parser.add_argument("--mu-h", type=float, default=1200.0,
+                        help="per-node static service rate")
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def cmd_design(args: argparse.Namespace) -> int:
+    """``repro design``: Theorem-1 sizing for a described workload."""
+    w = Workload.from_ratios(lam=args.lam, a=args.a, mu_h=args.mu_h,
+                             r=1.0 / args.inv_r, p=args.p)
+    if not w.feasible:
+        print(f"offered load {w.total_offered:.1f} exceeds p={w.p}: "
+              f"no stable configuration", file=sys.stderr)
+        return 1
+    design = optimal_masters(w)
+    sf = flat_stretch(w)
+    t1, t2 = theta_bounds(w, design.m) if design.m < w.p else (1.0, 1.0)
+    print(format_table(
+        ["quantity", "value"],
+        [["masters m*", design.m],
+         ["theta*", f"{design.theta:.4f}"],
+         ["theta bounds", f"[{t1:.4f}, {t2:.4f}]"],
+         ["SM (M/S stretch)", f"{design.sm:.4f}"],
+         ["SF (flat stretch)", f"{sf:.4f}"],
+         ["improvement", f"{100 * (sf / design.sm - 1):.1f}%"]],
+        title=(f"Theorem 1 design: lam={args.lam}, a={args.a}, "
+               f"1/r={args.inv_r}, p={args.p}"),
+    ))
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """``repro trace``: generate (and optionally save) a synthetic trace."""
+    spec = get_trace(args.trace)
+    trace = generate_trace(spec, rate=args.rate, duration=args.duration,
+                           mu_h=args.mu_h, r=1.0 / args.inv_r,
+                           seed=args.seed,
+                           cacheable_fraction=args.cacheable)
+    stats = trace_statistics(trace)
+    print(format_table(
+        ["stat", "value"],
+        [[k, f"{v:.4f}" if isinstance(v, float) else v]
+         for k, v in stats.items()],
+        title=f"generated {len(trace)} requests ({spec.name}-like)",
+    ))
+    if args.out:
+        n = save_trace(trace, args.out)
+        print(f"wrote {n} requests to {args.out}")
+    return 0
+
+
+def cmd_replay(args: argparse.Namespace) -> int:
+    """``repro replay``: simulate one trace under one policy."""
+    if args.from_file:
+        trace = load_trace(args.from_file)
+        spec = get_trace(args.trace)
+    else:
+        spec = get_trace(args.trace)
+        trace = generate_trace(spec, rate=args.rate,
+                               duration=args.duration, mu_h=args.mu_h,
+                               r=1.0 / args.inv_r, seed=args.seed)
+    masters = args.masters
+    if masters is None:
+        masters = choose_masters(spec, args.rate, args.mu_h,
+                                 1.0 / args.inv_r, args.nodes)
+    sampler = pretrain_sampler(trace, seed=args.seed)
+    policy = make_policy(args.policy, args.nodes, masters,
+                         sampler=sampler, seed=args.seed + 17)
+    cfg = paper_sim_config(num_nodes=args.nodes, seed=args.seed)
+    cfg.static_rate = args.mu_h
+    report = replay(cfg, policy, trace).report
+    print(format_table(
+        ["metric", "overall", "static", "dynamic"],
+        [["stretch", report.overall.stretch, report.static.stretch,
+          report.dynamic.stretch],
+         ["mean response (ms)", report.overall.mean_response * 1e3,
+          report.static.mean_response * 1e3,
+          report.dynamic.mean_response * 1e3],
+         ["p95 response (ms)", report.overall.p95_response * 1e3,
+          report.static.p95_response * 1e3,
+          report.dynamic.p95_response * 1e3],
+         ["count", report.overall.count, report.static.count,
+          report.dynamic.count]],
+        title=(f"{args.policy} on {args.nodes} nodes ({masters} masters): "
+               f"{report.completed} completed, "
+               f"{report.remote_dispatches} remote CGI"),
+    ))
+    return 0
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    """``repro fig3|table1|...``: regenerate a paper artifact."""
+    name = args.experiment
+    if name == "fig3":
+        print(experiments.run_fig3().render())
+    elif name == "table1":
+        print(experiments.run_table1(n=args.n).render())
+    elif name == "table2":
+        print(experiments.run_table2().render())
+    elif name == "fig4":
+        print(experiments.run_fig4(
+            p_values=(32,), inv_r_values=(20, 80),
+            utilizations=(0.6, 0.9),
+            base_duration=args.duration).render())
+    elif name == "fig5":
+        print(experiments.run_fig5(p_values=(32,),
+                                   duration=args.duration).render())
+    elif name == "table3":
+        print(experiments.run_table3(duration=4 * args.duration).render())
+    else:  # pragma: no cover - argparse restricts choices
+        raise AssertionError(name)
+    return 0
+
+
+def cmd_calibrate(args: argparse.Namespace) -> int:
+    """``repro calibrate``: clean-simulator vs M/M/1 check."""
+    rows = mm1_calibration(duration=args.duration * 5, seed=args.seed)
+    print(format_table(
+        ["rho", "1/(1-rho)", "simulated", "error %"],
+        [[f"{r.rho:.2f}", r.predicted, r.simulated,
+          100 * r.relative_error] for r in rows],
+        title="clean simulator vs M/M/1",
+    ))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse tree for all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=("Master/slave Web-cluster scheduling (SPAA'99 "
+                     "reproduction)"),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("design", help="Theorem-1 master sizing")
+    p.add_argument("--lam", type=float, required=True)
+    p.add_argument("--a", type=float, required=True)
+    p.add_argument("--inv-r", type=float, default=40.0)
+    p.add_argument("--mu-h", type=float, default=1200.0)
+    p.add_argument("--p", type=int, required=True)
+    p.set_defaults(func=cmd_design)
+
+    p = sub.add_parser("trace", help="generate a synthetic trace")
+    _add_workload_args(p)
+    p.add_argument("--cacheable", type=float, default=0.0,
+                   help="fraction of CGI output that is cacheable")
+    p.add_argument("--out", help="write JSON Lines trace here")
+    p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser("replay", help="simulate one trace under a policy")
+    _add_workload_args(p)
+    p.add_argument("--nodes", type=int, default=16)
+    p.add_argument("--masters", type=int, default=None,
+                   help="master count (default: Theorem 1)")
+    p.add_argument("--policy", default="MS",
+                   help="MS, MS-ns, MS-nr, MS-1, Flat, MSPrime, "
+                        "RoundRobin, LeastActive")
+    p.add_argument("--from-file", help="replay a saved JSON Lines trace")
+    p.set_defaults(func=cmd_replay)
+
+    for exp in ("fig3", "table1", "table2", "fig4", "fig5", "table3"):
+        p = sub.add_parser(exp, help=f"regenerate {exp} (quick grid)")
+        p.add_argument("--duration", type=float, default=6.0)
+        p.add_argument("--n", type=int, default=20000)
+        p.set_defaults(func=cmd_experiment, experiment=exp)
+
+    p = sub.add_parser("calibrate", help="simulator vs M/M/1")
+    p.add_argument("--duration", type=float, default=10.0)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_calibrate)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

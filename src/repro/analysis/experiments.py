@@ -1,0 +1,521 @@
+"""Experiment harnesses — one per table/figure in the paper (DESIGN.md §4).
+
+Each ``run_*`` function returns a structured result with a ``render()``
+method producing the text the benchmarks print and EXPERIMENTS.md records.
+Scaled-down defaults keep a full regeneration tractable on a laptop; pass
+larger ``duration``/rate grids to approach the paper's sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.figures import grouped_bar_chart, line_plot
+from repro.analysis.reporting import format_table
+from repro.analysis.sweep import (
+    BakeoffResult,
+    choose_masters,
+    make_bakeoff_policy,
+    run_bakeoff,
+)
+from repro.core.queuing import Workload, best_msprime, flat_stretch
+from repro.core.stretch import improvement_percent
+from repro.core.theorem import optimal_masters
+from repro.testbed.emulator import TestbedConfig, replay_on_testbed
+from repro.workload.generator import generate_trace, trace_statistics
+from repro.workload.replay import pretrain_sampler, replay
+from repro.workload.traces import ADL, EXPERIMENT_TRACES, KSU, TRACES, UCB, TraceSpec
+
+# ---------------------------------------------------------------------------
+# Figure 3 — analytic improvement of M/S over flat and over M/S'
+# ---------------------------------------------------------------------------
+
+#: The paper's Figure-3 parameter grid: lam=1000, p=32, mu_h=1200,
+#: a in {2/8, 3/7, 4/6}, r in {1/10, 1/20, 1/40, 1/80}.
+FIG3_A_VALUES: Tuple[float, ...] = (2 / 8, 3 / 7, 4 / 6)
+FIG3_INV_R: Tuple[int, ...] = (10, 20, 40, 80)
+
+
+@dataclass(slots=True)
+class Fig3Row:
+    a: float
+    inv_r: int
+    m_opt: int
+    theta_opt: float
+    sm: float
+    sf: float
+    sm_prime: float
+    improvement_vs_flat: float     # percent
+    improvement_vs_msprime: float  # percent
+
+
+@dataclass(slots=True)
+class Fig3Result:
+    lam: float
+    p: int
+    mu_h: float
+    rows: List[Fig3Row]
+
+    def series(self, a: float, which: str) -> List[Tuple[int, float]]:
+        """(1/r, improvement%) pairs for one ``a`` curve."""
+        attr = {"flat": "improvement_vs_flat",
+                "msprime": "improvement_vs_msprime"}[which]
+        return [(row.inv_r, getattr(row, attr))
+                for row in self.rows if abs(row.a - a) < 1e-12]
+
+    def max_improvement(self, which: str) -> float:
+        attr = {"flat": "improvement_vs_flat",
+                "msprime": "improvement_vs_msprime"}[which]
+        return max(getattr(row, attr) for row in self.rows)
+
+    def render(self) -> str:
+        rows = [
+            [f"{r.a:.3f}", r.inv_r, r.m_opt, f"{r.theta_opt:.3f}",
+             r.sm, r.sf, r.sm_prime,
+             r.improvement_vs_flat, r.improvement_vs_msprime]
+            for r in self.rows
+        ]
+        table = format_table(
+            ["a", "1/r", "m*", "theta*", "SM", "SF", "SM'",
+             "MS>flat %", "MS>MS' %"],
+            rows,
+            title=(f"Figure 3 (analytic): lam={self.lam}, p={self.p}, "
+                   f"mu_h={self.mu_h}"),
+        )
+        a_values = sorted({row.a for row in self.rows})
+        curves = {
+            f"a={a:.2f}": [(float(x), y) for x, y in self.series(a, "flat")]
+            for a in a_values
+        }
+        plot = line_plot(curves, title="M/S improvement over flat (%)",
+                         xlabel="1/r", ylabel="improvement %")
+        return table + "\n\n" + plot
+
+
+def run_fig3(lam: float = 1000.0, p: int = 32, mu_h: float = 1200.0,
+             a_values: Sequence[float] = FIG3_A_VALUES,
+             inv_r_values: Sequence[int] = FIG3_INV_R) -> Fig3Result:
+    """Regenerate both panels of Figure 3 from the queuing formulas."""
+    rows: List[Fig3Row] = []
+    for a in a_values:
+        for inv_r in inv_r_values:
+            w = Workload.from_ratios(lam=lam, a=a, mu_h=mu_h,
+                                     r=1.0 / inv_r, p=p)
+            if not w.feasible:
+                continue
+            design = optimal_masters(w)
+            sf = flat_stretch(w)
+            smp = best_msprime(w).total
+            rows.append(Fig3Row(
+                a=a, inv_r=inv_r, m_opt=design.m, theta_opt=design.theta,
+                sm=design.sm, sf=sf, sm_prime=smp,
+                improvement_vs_flat=improvement_percent(sf, design.sm),
+                improvement_vs_msprime=improvement_percent(smp, design.sm),
+            ))
+    return Fig3Result(lam=lam, p=p, mu_h=mu_h, rows=rows)
+
+
+# ---------------------------------------------------------------------------
+# Table 1 — trace characteristics of the synthetic generators
+# ---------------------------------------------------------------------------
+
+
+@dataclass(slots=True)
+class Table1Row:
+    name: str
+    spec_pct_cgi: float
+    got_pct_cgi: float
+    spec_interval: float
+    got_interval: float
+    spec_html: float
+    got_html: float
+    spec_cgi_size: float
+    got_cgi_size: float
+
+
+@dataclass(slots=True)
+class Table1Result:
+    rows: List[Table1Row]
+    n: int
+
+    def render(self) -> str:
+        rows = [
+            [r.name, r.spec_pct_cgi, r.got_pct_cgi, r.spec_interval,
+             r.got_interval, r.spec_html, r.got_html, r.spec_cgi_size,
+             r.got_cgi_size]
+            for r in self.rows
+        ]
+        return format_table(
+            ["trace", "%CGI spec", "%CGI got", "intv spec", "intv got",
+             "HTML spec", "HTML got", "CGI spec", "CGI got"],
+            rows,
+            title=f"Table 1 (synthetic trace statistics, n={self.n} each)",
+            floatfmt="{:.3f}",
+        )
+
+
+def run_table1(n: int = 20000, seed: int = 7) -> Table1Result:
+    """Generate each Table-1 trace at its native rate and compare stats."""
+    rows: List[Table1Row] = []
+    for spec in TRACES.values():
+        trace = generate_trace(spec, rate=spec.native_rate, n=n, seed=seed)
+        stats = trace_statistics(trace)
+        rows.append(Table1Row(
+            name=spec.name,
+            spec_pct_cgi=spec.pct_cgi, got_pct_cgi=stats["pct_cgi"],
+            spec_interval=spec.mean_interval,
+            got_interval=stats["mean_interval"],
+            spec_html=float(spec.html_size), got_html=stats["html_size"],
+            spec_cgi_size=float(spec.cgi_size),
+            got_cgi_size=stats["cgi_size"],
+        ))
+    return Table1Result(rows=rows, n=n)
+
+
+# ---------------------------------------------------------------------------
+# Table 2 / Figure 4 — the simulated optimization bake-off
+# ---------------------------------------------------------------------------
+
+#: Offered-load levels replayed per (trace, 1/r).  The paper fixes a ladder
+#: of arrival rates per trace ("arrival rates are scaled in replaying to
+#: reflect various workloads ... such a setting creates reasonable loads");
+#: because the offered load of a fixed rate varies by a factor of ~8 across
+#: the 1/r sweep, we pin the *utilisation* instead and derive each rate, so
+#: every grid point sits at a comparable, paper-style "reasonable" load.
+FIG4_UTILIZATIONS: Tuple[float, ...] = (0.6, 0.75, 0.9)
+
+FIG4_INV_R: Tuple[int, ...] = (20, 40, 80, 160)
+
+
+def iso_load_rate(spec: TraceSpec, mu_h: float, r: float, p: int,
+                  utilization: float) -> float:
+    """Arrival rate putting the single-server offered load at
+    ``utilization * p`` for this trace and CGI cost ratio."""
+    if not 0.0 < utilization < 1.0:
+        raise ValueError("utilization must be in (0, 1)")
+    unit = Workload.from_ratios(lam=1.0, a=spec.arrival_ratio_a,
+                                mu_h=mu_h, r=r, p=p).total_offered
+    return utilization * p / unit
+
+
+@dataclass(slots=True)
+class Fig4Result:
+    results: List[BakeoffResult]
+    utilizations: Dict[Tuple[str, float, int, int], float] = field(
+        default_factory=dict)
+
+    def improvements(self, over: str) -> List[float]:
+        return [res.improvement(over) for res in self.results]
+
+    def max_improvement(self, over: str) -> float:
+        return max(self.improvements(over))
+
+    def render(self) -> str:
+        rows = []
+        for res in self.results:
+            util = self.utilizations.get(
+                (res.spec_name, res.lam, res.p, int(round(1 / res.r))), 0.0)
+            rows.append([
+                res.spec_name, res.p, f"{util:.2f}", int(res.lam),
+                int(round(1 / res.r)), res.m, res.stretch("MS"),
+                res.improvement("MS-ns"), res.improvement("MS-nr"),
+                res.improvement("MS-1"), res.improvement("Flat"),
+            ])
+        table = format_table(
+            ["trace", "p", "util", "lam", "1/r", "m", "S(MS)",
+             ">MS-ns %", ">MS-nr %", ">MS-1 %", ">Flat %"],
+            rows,
+            title="Figure 4 (simulated): improvement of M/S over ablations",
+        )
+        groups = []
+        for res in self.results:
+            label = (f"{res.spec_name} p={res.p} 1/r="
+                     f"{int(round(1 / res.r))} lam={int(res.lam)}")
+            groups.append((label, [
+                ("vs MS-ns", res.improvement("MS-ns")),
+                ("vs MS-nr", res.improvement("MS-nr")),
+                ("vs MS-1", res.improvement("MS-1")),
+            ]))
+        bars = grouped_bar_chart(
+            groups, unit="%",
+            title="M/S improvement per configuration (bars clipped at 0)")
+        return table + "\n\n" + bars
+
+
+def run_fig4(
+    p_values: Sequence[int] = (32, 128),
+    inv_r_values: Sequence[int] = FIG4_INV_R,
+    utilizations: Sequence[float] = FIG4_UTILIZATIONS,
+    base_duration: float = 10.0,
+    seed: int = 11,
+    mu_h: float = 1200.0,
+) -> Fig4Result:
+    """Replay the Figure-4 grid: {UCB,KSU,ADL} x load ladder x 1/r x {p}.
+
+    ``base_duration`` is the replayed trace span for a 32-node cluster;
+    larger clusters replay proportionally shorter spans so each grid point
+    simulates a comparable number of requests.
+    """
+    results: List[BakeoffResult] = []
+    utils: Dict[Tuple[str, float, int, int], float] = {}
+    for p in p_values:
+        duration = max(3.0, base_duration * 32.0 / p)
+        for spec in EXPERIMENT_TRACES:
+            for util in utilizations:
+                for inv_r in inv_r_values:
+                    r = 1.0 / inv_r
+                    lam = iso_load_rate(spec, mu_h, r, p, util)
+                    res = run_bakeoff(spec, lam=lam, r=r, p=p,
+                                      duration=duration, mu_h=mu_h,
+                                      seed=seed)
+                    results.append(res)
+                    utils[(spec.name, res.lam, p, inv_r)] = util
+    return Fig4Result(results=results, utilizations=utils)
+
+
+@dataclass(slots=True)
+class Table2Result:
+    rows: List[Tuple[str, int, Tuple[int, ...], Tuple[int, ...], float]]
+
+    def render(self) -> str:
+        rows = [
+            [name, p, "/".join(str(x) for x in lams),
+             "/".join(f"1_{ir}" for ir in inv_rs), f"{a:.2f}"]
+            for name, p, lams, inv_rs, a in self.rows
+        ]
+        return format_table(
+            ["trace", "p", "lam (req/s)", "r values", "a"],
+            rows, title="Table 2 (workload parameters examined)",
+        )
+
+
+def run_table2(
+    p_values: Sequence[int] = (32, 128),
+    inv_r_values: Sequence[int] = FIG4_INV_R,
+    utilizations: Sequence[float] = FIG4_UTILIZATIONS,
+    mu_h: float = 1200.0,
+) -> Table2Result:
+    """Emit the parameter grid actually swept (Table 2's analogue)."""
+    rows = []
+    for p in p_values:
+        for spec in EXPERIMENT_TRACES:
+            lams = tuple(sorted({
+                int(round(iso_load_rate(spec, mu_h, 1.0 / ir, p, u)))
+                for u in utilizations for ir in inv_r_values
+            }))
+            rows.append((spec.name, p, lams, tuple(inv_r_values),
+                         spec.arrival_ratio_a))
+    return Table2Result(rows=rows)
+
+
+# ---------------------------------------------------------------------------
+# Figure 5 — sensitivity to a fixed number of masters
+# ---------------------------------------------------------------------------
+
+#: Reference parameters the paper samples to fix m: r=1/60, a=0.44,
+#: lam=750 (p=32) / 3000 (p=128).  It reports m=6 and m=25.
+FIG5_REFERENCE = {"r": 1.0 / 60.0, "a": 0.44, 32: 750.0, 128: 3000.0}
+
+#: The 12 bar groups: (trace, utilization, 1/r) per cluster size, spanning
+#: the paper's "r varies from 1/20 to 1/160, a from 0.12 to 0.78" ranges.
+#: Static-heavy/cheap-CGI corners are excluded: the paper's rate ladder
+#: (500-2000 req/s at p=32) never pushes the static tier beyond a handful
+#: of nodes, and a fixed master count is only meaningful in that regime.
+FIG5_CONFIGS: Dict[int, Tuple[Tuple[str, float, int], ...]] = {
+    32: (("UCB", 0.75, 80), ("UCB", 0.6, 160),
+         ("KSU", 0.75, 80), ("KSU", 0.6, 40),
+         ("ADL", 0.75, 40), ("ADL", 0.6, 20)),
+    128: (("UCB", 0.75, 80), ("UCB", 0.6, 160),
+          ("KSU", 0.75, 80), ("KSU", 0.6, 40),
+          ("ADL", 0.75, 40), ("ADL", 0.6, 20)),
+}
+
+
+@dataclass(slots=True)
+class Fig5Row:
+    trace: str
+    p: int
+    lam: float
+    inv_r: int
+    m_fixed: int
+    m_adaptive: int
+    stretch_fixed: float
+    stretch_adaptive: float
+
+    @property
+    def degradation(self) -> float:
+        """Percent increase of the fixed-m stretch over the adaptive one."""
+        return (self.stretch_fixed / self.stretch_adaptive - 1.0) * 100.0
+
+
+@dataclass(slots=True)
+class Fig5Result:
+    rows: List[Fig5Row]
+    m_fixed: Dict[int, int]
+
+    @property
+    def max_degradation(self) -> float:
+        return max(r.degradation for r in self.rows)
+
+    @property
+    def mean_degradation(self) -> float:
+        degs = [r.degradation for r in self.rows]
+        return sum(degs) / len(degs)
+
+    def render(self) -> str:
+        rows = [[r.trace, r.p, int(r.lam), r.inv_r, r.m_fixed, r.m_adaptive,
+                 r.stretch_fixed, r.stretch_adaptive, r.degradation]
+                for r in self.rows]
+        txt = format_table(
+            ["trace", "p", "lam", "1/r", "m fixed", "m adapt",
+             "S fixed", "S adapt", "degr %"],
+            rows, title="Figure 5 (simulated): fixed vs adaptive m",
+        )
+        txt += (f"\nmax degradation {self.max_degradation:.1f}% "
+                f"(paper: <=9%), mean {self.mean_degradation:.1f}% "
+                f"(paper: ~4%)")
+        groups = [(f"{r.trace} p={r.p} 1/r={r.inv_r}",
+                   [("fixed m", r.stretch_fixed),
+                    ("adaptive", r.stretch_adaptive)])
+                  for r in self.rows]
+        txt += "\n\n" + grouped_bar_chart(
+            groups, title="stretch: fixed vs adaptive master count")
+        return txt
+
+
+def fixed_master_count(p: int, mu_h: float = 1200.0) -> int:
+    """The paper's fixed-m rule: Theorem 1 at the reference parameters.
+
+    The paper samples lam=750 for p=32 and lam=3000 for p=128; other
+    cluster sizes scale the reference rate proportionally.
+    """
+    ref = FIG5_REFERENCE
+    lam = ref.get(p, ref[32] * p / 32.0)
+    w = Workload.from_ratios(lam=lam, a=ref["a"], mu_h=mu_h,
+                             r=ref["r"], p=p)
+    return optimal_masters(w).m
+
+
+def run_fig5(
+    p_values: Sequence[int] = (32, 128),
+    duration: float = 8.0,
+    seed: int = 23,
+    configs: Optional[Dict[int, Tuple[Tuple[str, float, int], ...]]] = None,
+    mu_h: float = 1200.0,
+) -> Fig5Result:
+    """Degradation of M/S with a fixed master count vs per-config sizing."""
+    configs = configs or FIG5_CONFIGS
+    m_fixed_by_p = {p: fixed_master_count(p, mu_h) for p in p_values}
+    rows: List[Fig5Row] = []
+    for p in p_values:
+        span = max(3.0, duration * 32.0 / p)
+        for trace_name, util, inv_r in configs[p]:
+            spec = TRACES[trace_name]
+            r = 1.0 / inv_r
+            lam = iso_load_rate(spec, mu_h, r, p, util)
+            m_adapt = choose_masters(spec, lam, mu_h, r, p)
+            fixed = run_bakeoff(spec, lam=lam, r=r, p=p, duration=span,
+                                mu_h=mu_h, seed=seed,
+                                policies=("MS",), m=m_fixed_by_p[p])
+            adaptive = run_bakeoff(spec, lam=lam, r=r, p=p,
+                                   duration=span, mu_h=mu_h, seed=seed,
+                                   policies=("MS",), m=m_adapt)
+            rows.append(Fig5Row(
+                trace=trace_name, p=p, lam=lam, inv_r=inv_r,
+                m_fixed=m_fixed_by_p[p], m_adaptive=m_adapt,
+                stretch_fixed=fixed.stretch("MS"),
+                stretch_adaptive=adaptive.stretch("MS"),
+            ))
+    return Fig5Result(rows=rows, m_fixed=m_fixed_by_p)
+
+
+# ---------------------------------------------------------------------------
+# Table 3 — simulator vs (emulated) Sun-cluster validation
+# ---------------------------------------------------------------------------
+
+#: Master counts the paper used on the 6-node testbed per trace.
+TABLE3_MASTERS = {"UCB": 3, "KSU": 1, "ADL": 1}
+#: The paper drove its Ultra-1 cluster at 20 and 40 req/s; those loads sit
+#: below 35% utilisation in our (faster-I/O) substrate, where all schedulers
+#: coincide, so the emulated validation replays at 40 and 70 req/s to reach
+#: the same moderately-loaded regime the paper measured.
+TABLE3_RATES: Tuple[float, ...] = (40.0, 70.0)
+TABLE3_R = 1.0 / 40.0
+
+
+@dataclass(slots=True)
+class Table3Row:
+    trace: str
+    rate: float
+    comparison: str       # "MS-1", "MS-ns" or "MS-nr"
+    actual: float         # improvement % on the noisy testbed emulator
+    simulated: float      # improvement % on the clean simulator
+
+    @property
+    def gap(self) -> float:
+        return self.simulated - self.actual
+
+
+@dataclass(slots=True)
+class Table3Result:
+    rows: List[Table3Row]
+
+    @property
+    def mean_abs_gap(self) -> float:
+        gaps = [abs(r.gap) for r in self.rows]
+        return sum(gaps) / len(gaps)
+
+    def render(self) -> str:
+        rows = [[r.trace, int(r.rate), r.comparison, r.actual, r.simulated,
+                 r.gap] for r in self.rows]
+        txt = format_table(
+            ["trace", "rate/s", "MS vs", "actual %", "simu %", "gap"],
+            rows,
+            title=("Table 3: M/S improvement, emulated Sun cluster "
+                   "(actual) vs clean simulator (simu)"),
+        )
+        txt += (f"\nmean |gap| = {self.mean_abs_gap:.1f} points "
+                f"(paper: ~3, simulator slightly optimistic)")
+        return txt
+
+
+def run_table3(
+    rates: Sequence[float] = TABLE3_RATES,
+    r: float = TABLE3_R,
+    duration: float = 60.0,
+    seed: int = 31,
+    comparisons: Sequence[str] = ("MS-1", "MS-ns", "MS-nr"),
+    testbed: Optional[TestbedConfig] = None,
+) -> Table3Result:
+    """Replay the Sun-cluster validation on both platforms."""
+    tb = testbed or TestbedConfig()
+    mu_h = tb.static_rate
+    p = tb.num_nodes
+    rows: List[Table3Row] = []
+    for spec in (UCB, KSU, ADL):
+        m = TABLE3_MASTERS[spec.name]
+        for rate in rates:
+            trace = generate_trace(spec, rate=rate, duration=duration,
+                                   mu_h=mu_h, r=r, seed=seed)
+            sampler = pretrain_sampler(trace, seed=seed)
+
+            def run_both(policy_name: str) -> Tuple[float, float]:
+                policy_tb = make_bakeoff_policy(policy_name, p, m, sampler,
+                                                seed + 5)
+                actual = replay_on_testbed(policy_tb, trace, tb).overall.stretch
+                policy_sim = make_bakeoff_policy(policy_name, p, m, sampler,
+                                                 seed + 5)
+                cfg = tb.sim_config()
+                simulated = replay(cfg, policy_sim, trace).report.overall.stretch
+                return actual, simulated
+
+            ms_actual, ms_sim = run_both("MS")
+            for comp in comparisons:
+                other_actual, other_sim = run_both(comp)
+                rows.append(Table3Row(
+                    trace=spec.name, rate=rate, comparison=comp,
+                    actual=improvement_percent(other_actual, ms_actual),
+                    simulated=improvement_percent(other_sim, ms_sim),
+                ))
+    return Table3Result(rows=rows)

@@ -1,0 +1,115 @@
+"""Plain-text chart rendering for figure-shaped results.
+
+The paper's figures are bar groups and line plots; these helpers render
+the same shapes as fixed-width text so `pytest -s`, the CLI, and
+EXPERIMENTS.md can show them without a plotting stack.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+_BLOCKS = " ▏▎▍▌▋▊▉█"
+
+
+def _scaled(value: float, vmax: float, width: int) -> str:
+    """A horizontal bar of ``value/vmax`` scaled to ``width`` cells."""
+    if vmax <= 0:
+        return ""
+    frac = max(0.0, min(1.0, value / vmax))
+    cells = frac * width
+    full = int(cells)
+    rem = cells - full
+    partial = _BLOCKS[int(rem * (len(_BLOCKS) - 1))] if full < width else ""
+    return "█" * full + partial
+
+
+def bar_chart(items: Sequence[Tuple[str, float]],
+              title: Optional[str] = None,
+              width: int = 40,
+              unit: str = "") -> str:
+    """Horizontal bar chart.
+
+    >>> print(bar_chart([("a", 2.0), ("b", 1.0)], width=4))
+    a  ████ 2.00
+    b  ██   1.00
+    """
+    if not items:
+        raise ValueError("no bars to draw")
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    labels = [label for label, _ in items]
+    values = [float(v) for _, v in items]
+    if any(v < 0 for v in values):
+        raise ValueError("bar values must be >= 0")
+    vmax = max(values) or 1.0
+    label_w = max(len(s) for s in labels)
+    lines = [] if title is None else [title]
+    for label, value in zip(labels, values):
+        bar = _scaled(value, vmax, width)
+        lines.append(f"{label.ljust(label_w)}  {bar.ljust(width)} "
+                     f"{value:.2f}{unit}")
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(groups: Sequence[Tuple[str, Sequence[Tuple[str, float]]]],
+                      title: Optional[str] = None,
+                      width: int = 40,
+                      unit: str = "") -> str:
+    """Bar groups (the paper's Figure 4/5 style): one block per group."""
+    if not groups:
+        raise ValueError("no groups to draw")
+    vmax = max((float(v) for _, bars in groups for _, v in bars),
+               default=0.0) or 1.0
+    label_w = max(len(name) for _, bars in groups for name, _ in bars)
+    lines = [] if title is None else [title]
+    for group_name, bars in groups:
+        lines.append(f"{group_name}:")
+        for name, value in bars:
+            bar = _scaled(max(0.0, float(value)), vmax, width)
+            sign = "" if value >= 0 else " (negative)"
+            lines.append(f"  {name.ljust(label_w)}  {bar.ljust(width)} "
+                         f"{float(value):.1f}{unit}{sign}")
+    return "\n".join(lines)
+
+
+def line_plot(series: Dict[str, Sequence[Tuple[float, float]]],
+              title: Optional[str] = None,
+              width: int = 60, height: int = 16,
+              xlabel: str = "x", ylabel: str = "y") -> str:
+    """Scatter/line plot on a character grid, one glyph per series.
+
+    Designed for the Figure-3 shape: a handful of monotone curves.
+    """
+    if not series:
+        raise ValueError("no series to plot")
+    if width < 8 or height < 4:
+        raise ValueError("plot area too small")
+    glyphs = "ox+*#@%&"
+    points = [(x, y) for pts in series.values() for x, y in pts]
+    if not points:
+        raise ValueError("series contain no points")
+    xs = [x for x, _ in points]
+    ys = [y for _, y in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for glyph, (name, pts) in zip(glyphs, series.items()):
+        for x, y in pts:
+            col = int((x - x_lo) / x_span * (width - 1))
+            row = height - 1 - int((y - y_lo) / y_span * (height - 1))
+            grid[row][col] = glyph
+
+    lines = [] if title is None else [title]
+    lines.append(f"{ylabel} (top={y_hi:.1f}, bottom={y_lo:.1f})")
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append(f" {xlabel}: {x_lo:g} .. {x_hi:g}")
+    legend = "  ".join(f"{glyph}={name}"
+                       for glyph, name in zip(glyphs, series))
+    lines.append(f" legend: {legend}")
+    return "\n".join(lines)

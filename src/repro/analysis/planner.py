@@ -1,0 +1,144 @@
+"""Capacity planning on top of the Section-3 model.
+
+The queuing model's practical payoff is answering operator questions
+without replaying anything:
+
+* :func:`size_cluster` — smallest node count (and master split) meeting a
+  stretch target for a given workload;
+* :func:`max_sustainable_rate` — largest arrival rate a given cluster
+  sustains under a stretch target (binary search on the monotone model);
+* :func:`headroom` — how much rate growth the current operating point has
+  left.
+
+All answers come from the M/S model at its Theorem-1 operating point; the
+simulator adds OS overheads on top, so treat these as slightly optimistic
+(see ``examples/capacity_planning.py`` for a model-vs-simulation check).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.queuing import Workload, flat_stretch
+from repro.core.theorem import MSDesign, optimal_masters
+
+#: Upper bound on the node counts :func:`size_cluster` will consider.
+MAX_NODES = 4096
+
+
+@dataclass(frozen=True, slots=True)
+class ClusterPlan:
+    """A sizing decision and its predicted operating point."""
+
+    p: int
+    design: MSDesign
+    target_stretch: float
+    flat_stretch: float
+
+    @property
+    def m(self) -> int:
+        return self.design.m
+
+    @property
+    def predicted_stretch(self) -> float:
+        return self.design.sm
+
+    @property
+    def margin(self) -> float:
+        """Fraction of the target left unused (0 = exactly at target)."""
+        return 1.0 - self.predicted_stretch / self.target_stretch
+
+
+def _workload(lam: float, a: float, mu_h: float, r: float,
+              p: int) -> Workload:
+    return Workload.from_ratios(lam=lam, a=a, mu_h=mu_h, r=r, p=p)
+
+
+def ms_design_stretch(lam: float, a: float, mu_h: float, r: float,
+                      p: int) -> Optional[float]:
+    """Predicted M/S stretch at the Theorem-1 design, ``None`` if the
+    workload is infeasible on ``p`` nodes."""
+    w = _workload(lam, a, mu_h, r, p)
+    if not w.feasible:
+        return None
+    try:
+        return optimal_masters(w).sm
+    except (ValueError, ArithmeticError):
+        return None
+
+
+def size_cluster(target_stretch: float, *, lam: float, a: float,
+                 mu_h: float = 1200.0, r: float = 1.0 / 40.0,
+                 max_nodes: int = MAX_NODES) -> ClusterPlan:
+    """Smallest cluster meeting a mean-stretch target for the workload.
+
+    Raises ``ValueError`` when no cluster up to ``max_nodes`` suffices.
+    The M/S stretch is monotone decreasing in ``p`` (more capacity never
+    hurts a well-sized design), so the scan stops at the first success.
+    """
+    if target_stretch < 1.0:
+        raise ValueError("target_stretch must be >= 1 (stretch floor)")
+    if max_nodes < 1:
+        raise ValueError("max_nodes must be >= 1")
+    for p in range(1, max_nodes + 1):
+        w = _workload(lam, a, mu_h, r, p)
+        if not w.feasible:
+            continue
+        try:
+            design = optimal_masters(w)
+        except (ValueError, ArithmeticError):
+            continue
+        if design.sm <= target_stretch:
+            return ClusterPlan(p=p, design=design,
+                               target_stretch=target_stretch,
+                               flat_stretch=flat_stretch(w))
+    raise ValueError(
+        f"no cluster of up to {max_nodes} nodes meets stretch "
+        f"{target_stretch} for lam={lam}, a={a}, r={r}"
+    )
+
+
+def max_sustainable_rate(p: int, *, target_stretch: float, a: float,
+                         mu_h: float = 1200.0, r: float = 1.0 / 40.0,
+                         tolerance: float = 1e-3) -> float:
+    """Largest arrival rate ``p`` nodes sustain under the stretch target.
+
+    Binary search: the M/S stretch at the Theorem-1 design is monotone
+    increasing in the arrival rate.
+    """
+    if target_stretch < 1.0:
+        raise ValueError("target_stretch must be >= 1")
+    if p < 1:
+        raise ValueError("p must be >= 1")
+    if tolerance <= 0:
+        raise ValueError("tolerance must be positive")
+
+    # Bracket: capacity limit gives the upper bound.
+    unit = _workload(1.0, a, mu_h, r, p).total_offered
+    hi = p / unit          # rate at 100% offered load (infeasible)
+    lo = 0.0
+    s_probe = ms_design_stretch(hi * 0.999, a, mu_h, r, p)
+    if s_probe is not None and s_probe <= target_stretch:
+        return hi * 0.999
+    while hi - lo > tolerance * hi:
+        mid = (lo + hi) / 2.0
+        s = ms_design_stretch(mid, a, mu_h, r, p) if mid > 0 else 1.0
+        if s is not None and s <= target_stretch:
+            lo = mid
+        else:
+            hi = mid
+    return lo
+
+
+def headroom(lam: float, *, p: int, target_stretch: float, a: float,
+             mu_h: float = 1200.0, r: float = 1.0 / 40.0) -> float:
+    """Rate growth factor available before the stretch target is hit.
+
+    >>> # headroom 1.0 means the cluster is exactly at its limit
+    """
+    if lam <= 0:
+        raise ValueError("lam must be positive")
+    limit = max_sustainable_rate(p, target_stretch=target_stretch, a=a,
+                                 mu_h=mu_h, r=r)
+    return limit / lam

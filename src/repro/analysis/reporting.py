@@ -1,0 +1,64 @@
+"""Plain-text rendering of experiment results (tables and figure series).
+
+Everything the benchmarks print goes through these helpers so EXPERIMENTS.md
+and the bench output stay consistent.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence],
+                 title: str | None = None,
+                 floatfmt: str = "{:.2f}") -> str:
+    """Render an aligned ASCII table.
+
+    >>> print(format_table(["a", "b"], [[1, 2.5]], title="T"))
+    T
+    a  b
+    -  ----
+    1  2.50
+    """
+    def cell(v) -> str:
+        if isinstance(v, bool):
+            return str(v)
+        if isinstance(v, float):
+            return floatfmt.format(v)
+        return str(v)
+
+    str_rows = [[cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but there are {len(headers)} headers"
+            )
+        for i, c in enumerate(row):
+            widths[i] = max(widths[i], len(c))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(c.ljust(w)
+                         for c, w in zip(cells, widths)).rstrip()
+
+    out = []
+    if title:
+        out.append(title)
+    out.append(line(headers))
+    out.append(line(["-" * w for w in widths]))
+    out.extend(line(r) for r in str_rows)
+    return "\n".join(out)
+
+
+def format_series(name: str, xs: Sequence, ys: Sequence[float],
+                  xlabel: str = "x", ylabel: str = "y") -> str:
+    """Render one figure series as labelled (x, y) pairs."""
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have the same length")
+    pairs = ", ".join(f"{x}:{y:.1f}" for x, y in zip(xs, ys))
+    return f"{name} [{xlabel} -> {ylabel}]: {pairs}"
+
+
+def percent(x: float) -> str:
+    """Format an improvement percentage the way the paper quotes them."""
+    return f"{x:+.0f}%"

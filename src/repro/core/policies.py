@@ -1,0 +1,589 @@
+"""Dispatch policies: the flat architecture, the optimized M/S scheduler,
+its ablations (M/S-ns, M/S-nr, M/S-1), the M/S' alternative, and two
+baseline policies a load-balancing switch might implement.
+
+A policy maps each arriving request to an executing node, given only the
+load view a real front end would have (periodic, slightly stale CPU-idle
+and disk-available ratios).  The cluster charges the remote-CGI network
+latency whenever the executing node differs from the accepting node.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Optional, Protocol, Sequence
+
+import numpy as np
+
+from repro.core.reservation import ReservationConfig, ReservationController
+from repro.core.rsrc import DEFAULT_W, select_min_rsrc
+from repro.core.sampling import DemandSampler
+from repro.workload.request import Request, RequestKind
+
+
+class LoadView(Protocol):
+    """What a policy is allowed to observe about the cluster."""
+
+    @property
+    def num_nodes(self) -> int: ...
+
+    @property
+    def now(self) -> float: ...
+
+    def cpu_idle(self, node_id: int) -> float: ...
+
+    def disk_avail(self, node_id: int) -> float: ...
+
+    def cpu_idle_array(self) -> np.ndarray: ...
+
+    def disk_avail_array(self) -> np.ndarray: ...
+
+    def active_requests(self, node_id: int) -> int: ...
+
+    def is_alive(self, node_id: int) -> bool: ...
+
+    def all_alive(self) -> bool: ...
+
+    def alive_array(self) -> np.ndarray: ...
+
+
+@dataclass(frozen=True, slots=True)
+class Route:
+    """Outcome of a dispatch decision."""
+
+    node_id: int
+    #: True when the executing node differs from the accepting node, which
+    #: costs one remote-CGI dispatch latency.
+    remote: bool
+    #: Additional dispatch latency beyond the standard network costs —
+    #: e.g. a client round-trip for HTTP-redirection rescheduling.
+    extra_latency: float = 0.0
+    #: Execute this request instead of the submitted one (same identity,
+    #: different demand) — used by the CGI cache to serve hits cheaply.
+    substitute: Optional["Request"] = None
+
+
+class Policy(abc.ABC):
+    """Base class for dispatch policies."""
+
+    def __init__(self, num_nodes: int, master_ids: Sequence[int],
+                 seed: int = 0):
+        if num_nodes < 1:
+            raise ValueError("num_nodes must be >= 1")
+        ids = frozenset(master_ids)
+        if not ids:
+            raise ValueError("at least one master/acceptor node is required")
+        if not all(0 <= i < num_nodes for i in ids):
+            raise ValueError("master ids out of range")
+        self.num_nodes = num_nodes
+        self.master_ids = ids
+        self._masters = np.array(sorted(ids), dtype=np.intp)
+        self._slaves = np.array(
+            sorted(set(range(num_nodes)) - ids), dtype=np.intp
+        )
+        self.rng = np.random.default_rng(seed)
+
+    def is_master(self, node_id: int) -> bool:
+        return node_id in self.master_ids
+
+    @property
+    def num_masters(self) -> int:
+        return len(self._masters)
+
+    @abc.abstractmethod
+    def route(self, request: Request, view: LoadView) -> Route:
+        """Choose the executing node for a request."""
+
+    def on_complete(self, request: Request, response_time: float,
+                    on_master: bool, node_id: int) -> None:
+        """Completion feedback; default: ignore."""
+
+    def _random_master(self) -> int:
+        return int(self._masters[self.rng.integers(len(self._masters))])
+
+    def _alive(self, view: LoadView, ids: np.ndarray) -> np.ndarray:
+        """Restrict a candidate id array to in-service nodes."""
+        if view.all_alive():
+            return ids
+        alive = view.alive_array()
+        return ids[alive[ids]]
+
+    def _random_alive_master(self, view: LoadView) -> int:
+        """An in-service accepting master; any alive node acts as master
+        when the whole master tier is down (emergency promotion)."""
+        if view.all_alive():
+            return self._random_master()
+        masters = self._alive(view, self._masters)
+        if len(masters) == 0:
+            masters = self._alive(
+                view, np.arange(self.num_nodes, dtype=np.intp))
+            if len(masters) == 0:
+                raise RuntimeError("no nodes in service")
+        return int(masters[self.rng.integers(len(masters))])
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__
+
+
+# -- flat architecture and switch baselines ------------------------------------------
+
+
+class FlatPolicy(Policy):
+    """Uniform random dispatch; every node serves every class locally.
+
+    This is the paper's model of a DNS-rotation or switch-based cluster
+    ("requests are randomly dispatched to nodes in the cluster with a
+    uniform distribution").
+
+    ``failure_aware`` distinguishes the two flat front ends the paper
+    discusses: a load-balancing switch detects dead nodes sub-second and
+    removes them from the pool (True); DNS rotation with client-side IP
+    caching keeps sending traffic to dead nodes (False), costing those
+    clients a retry timeout.
+    """
+
+    def __init__(self, num_nodes: int, seed: int = 0,
+                 failure_aware: bool = True):
+        super().__init__(num_nodes, range(num_nodes), seed)
+        self.failure_aware = failure_aware
+        self._all = np.arange(num_nodes, dtype=np.intp)
+
+    def route(self, request: Request, view: LoadView) -> Route:
+        pool = self._alive(view, self._all) if self.failure_aware \
+            else self._all
+        if len(pool) == 0:
+            raise RuntimeError("no nodes in service")
+        node = int(pool[self.rng.integers(len(pool))])
+        return Route(node, remote=False)
+
+
+class DNSAffinityPolicy(Policy):
+    """DNS rotation with client-side IP caching.
+
+    The paper's Section-1/2 model of the NCSA-style cluster: the DNS
+    server hands out node IPs round-robin, but each *client* caches its
+    answer and keeps hitting the same node for all of its requests.  Load
+    balance is then only as good as the client mix — heavy clients pile
+    onto single nodes, which is exactly why "research has demonstrated
+    that DNS round-robin rotation does not evenly distribute the load".
+
+    Requests without a client id (``client_id == -1``) fall back to
+    per-request rotation (an uncached resolver).
+    """
+
+    def __init__(self, num_nodes: int, seed: int = 0):
+        super().__init__(num_nodes, range(num_nodes), seed)
+        self._next = 0
+        self._bindings: dict[int, int] = {}
+        self.failure_aware = False  # cached IPs ignore failures
+
+    def route(self, request: Request, view: LoadView) -> Route:
+        client = request.client_id
+        if client < 0:
+            node = self._next
+            self._next = (self._next + 1) % self.num_nodes
+            return Route(node, remote=False)
+        node = self._bindings.get(client)
+        if node is None:
+            node = self._next
+            self._next = (self._next + 1) % self.num_nodes
+            self._bindings[client] = node
+        return Route(node, remote=False)
+
+    @property
+    def distinct_bindings(self) -> int:
+        return len(self._bindings)
+
+
+class RoundRobinPolicy(Policy):
+    """Strict cyclic dispatch (NCSA-style DNS rotation)."""
+
+    def __init__(self, num_nodes: int, seed: int = 0,
+                 failure_aware: bool = True):
+        super().__init__(num_nodes, range(num_nodes), seed)
+        self._next = 0
+        self.failure_aware = failure_aware
+
+    def route(self, request: Request, view: LoadView) -> Route:
+        for _ in range(self.num_nodes):
+            node = self._next
+            self._next = (self._next + 1) % self.num_nodes
+            if not self.failure_aware or view.is_alive(node):
+                return Route(node, remote=False)
+        if self.failure_aware:
+            raise RuntimeError("no nodes in service")
+        return Route(self._next, remote=False)
+
+
+class LeastActivePolicy(Policy):
+    """Send to the node with the fewest in-flight requests — the
+    "least connections" scheme of a load-balancing switch."""
+
+    def __init__(self, num_nodes: int, seed: int = 0):
+        super().__init__(num_nodes, range(num_nodes), seed)
+
+    def route(self, request: Request, view: LoadView) -> Route:
+        pool = [i for i in range(self.num_nodes) if view.is_alive(i)]
+        if not pool:
+            raise RuntimeError("no nodes in service")
+        counts = {i: view.active_requests(i) for i in pool}
+        best = min(counts.values())
+        ties = [i for i, c in counts.items() if c == best]
+        node = ties[int(self.rng.integers(len(ties)))]
+        return Route(node, remote=False)
+
+
+# -- the master/slave scheduler and its ablations -----------------------------------
+
+
+class MSPolicy(Policy):
+    """The paper's optimized master/slave scheduler.
+
+    * static requests are processed at a uniformly random master;
+    * dynamic requests are placed on the minimum-RSRC node among the slaves
+      plus — when the reservation gate admits — the masters;
+    * the CPU weight ``w`` per request family comes from the offline
+      :class:`DemandSampler` (Equation 5), defaulting to 0.5;
+    * the reservation cap ``theta'_2`` adapts online from monitored ``a``
+      and response-time-approximated ``r``.
+
+    Ablations are expressed by the flags (factories below):
+
+    * ``use_sampling=False`` → **M/S-ns** (``w`` fixed at 0.5);
+    * ``use_reservation=False`` → **M/S-nr** (masters always candidates);
+    * ``num_masters == num_nodes`` → **M/S-1** (no slaves; flat + remote
+      CGI with the same RSRC selection).
+    """
+
+    def __init__(self, num_nodes: int, num_masters: int,
+                 sampler: Optional[DemandSampler] = None,
+                 use_sampling: bool = True,
+                 use_reservation: bool = True,
+                 reservation_cfg: Optional[ReservationConfig] = None,
+                 default_w: float = DEFAULT_W,
+                 seed: int = 0,
+                 herding_discount: float = 0.5):
+        if not 1 <= num_masters <= num_nodes:
+            raise ValueError(
+                f"need 1 <= num_masters <= num_nodes; got {num_masters}"
+            )
+        super().__init__(num_nodes, range(num_masters), seed)
+        self.use_sampling = use_sampling
+        self.sampler = sampler if use_sampling else None
+        self.default_w = default_w
+        self.use_reservation = use_reservation and num_masters < num_nodes
+        self.reservation: Optional[ReservationController] = (
+            ReservationController(num_masters, num_nodes, reservation_cfg)
+            if self.use_reservation else None
+        )
+        # In-flight dynamic work per node, split by resource using each
+        # request's sampled CPU weight.  A master performing remote CGI
+        # execution knows what it has sent and not yet seen complete;
+        # discounting the reported idle ratios by that outstanding work
+        # avoids herding every request onto the node that looked idlest at
+        # the last rstat() poll.
+        self._outstanding_cpu = np.zeros(num_nodes)
+        self._outstanding_disk = np.zeros(num_nodes)
+        self._dispatched_w: dict[int, float] = {}
+        if not 0.0 < herding_discount <= 1.0:
+            raise ValueError("herding_discount must be in (0, 1]")
+        #: Idle-ratio discount per unit of outstanding work on a resource.
+        self.herding_discount = herding_discount
+
+    # -- routing -------------------------------------------------------------
+
+    def route(self, request: Request, view: LoadView) -> Route:
+        if self.reservation is not None:
+            self.reservation.observe_arrival(request.kind, view.now)
+        accept = self._random_alive_master(view)
+        if request.kind is RequestKind.STATIC:
+            return Route(accept, remote=False)
+        return self._route_dynamic(request, view, accept)
+
+    def _route_dynamic(self, request: Request, view: LoadView,
+                       accept: int) -> Route:
+        slaves = self._alive(view, self._slaves)
+        masters = self._alive(view, self._masters)
+        if len(slaves) == 0:
+            candidates = masters
+        elif self.reservation is None or self.reservation.admit_to_master():
+            candidates = np.concatenate([slaves, masters])
+        else:
+            candidates = slaves
+        if len(candidates) == 0:
+            candidates = self._alive(
+                view, np.arange(self.num_nodes, dtype=np.intp))
+            if len(candidates) == 0:
+                raise RuntimeError("no nodes in service")
+        w = (self.sampler.w(request.type_key) if self.sampler is not None
+             else self.default_w)
+        g = self.herding_discount
+        eff_cpu = view.cpu_idle_array() * g ** self._outstanding_cpu
+        eff_disk = view.disk_avail_array() * g ** self._outstanding_disk
+        node = select_min_rsrc(w, eff_cpu, eff_disk, candidates, self.rng)
+        self._outstanding_cpu[node] += w
+        self._outstanding_disk[node] += 1.0 - w
+        self._dispatched_w[request.req_id] = w
+        if self.reservation is not None:
+            self.reservation.record_decision(self.is_master(node))
+        return Route(node, remote=(node != accept))
+
+    def on_complete(self, request: Request, response_time: float,
+                    on_master: bool, node_id: int) -> None:
+        w = self._dispatched_w.pop(request.req_id, None)
+        if w is not None:
+            self._outstanding_cpu[node_id] = max(
+                0.0, self._outstanding_cpu[node_id] - w)
+            self._outstanding_disk[node_id] = max(
+                0.0, self._outstanding_disk[node_id] - (1.0 - w))
+        if self.reservation is not None:
+            self.reservation.observe_response(request.kind, response_time)
+        # Online refinement of the sampler from real executions keeps the
+        # offline estimates fresh (harmless if already trained).
+        if self.sampler is not None and request.is_dynamic:
+            self.sampler.observe(request.type_key, request.cpu_demand,
+                                 request.io_demand)
+
+    @property
+    def theta_cap(self) -> Optional[float]:
+        """Current reservation cap, or ``None`` when reservation is off."""
+        return self.reservation.theta_cap if self.reservation else None
+
+
+class MSPrimePolicy(Policy):
+    """The M/S' alternative of Section 3: dynamic requests are pinned to a
+    fixed subset of ``k`` nodes (min-RSRC within the subset), while static
+    requests are spread uniformly over **all** nodes."""
+
+    def __init__(self, num_nodes: int, num_dynamic_nodes: int,
+                 sampler: Optional[DemandSampler] = None,
+                 default_w: float = DEFAULT_W, seed: int = 0):
+        if not 1 <= num_dynamic_nodes <= num_nodes:
+            raise ValueError("need 1 <= num_dynamic_nodes <= num_nodes")
+        # Every node accepts (static goes everywhere); record the dynamic
+        # subset separately.
+        super().__init__(num_nodes, range(num_nodes), seed)
+        self.dynamic_nodes = np.arange(num_dynamic_nodes, dtype=np.intp)
+        self.sampler = sampler
+        self.default_w = default_w
+        self._outstanding_cpu = np.zeros(num_nodes)
+        self._outstanding_disk = np.zeros(num_nodes)
+        self._dispatched_w: dict[int, float] = {}
+        self.herding_discount = 0.5
+
+    def route(self, request: Request, view: LoadView) -> Route:
+        pool = self._alive(view, np.arange(self.num_nodes, dtype=np.intp))
+        if len(pool) == 0:
+            raise RuntimeError("no nodes in service")
+        accept = int(pool[self.rng.integers(len(pool))])
+        if request.kind is RequestKind.STATIC:
+            return Route(accept, remote=False)
+        w = (self.sampler.w(request.type_key) if self.sampler is not None
+             else self.default_w)
+        g = self.herding_discount
+        eff_cpu = view.cpu_idle_array() * g ** self._outstanding_cpu
+        eff_disk = view.disk_avail_array() * g ** self._outstanding_disk
+        dyn = self._alive(view, self.dynamic_nodes)
+        if len(dyn) == 0:
+            dyn = pool
+        node = select_min_rsrc(w, eff_cpu, eff_disk, dyn, self.rng)
+        self._outstanding_cpu[node] += w
+        self._outstanding_disk[node] += 1.0 - w
+        self._dispatched_w[request.req_id] = w
+        return Route(node, remote=(node != accept))
+
+    def on_complete(self, request: Request, response_time: float,
+                    on_master: bool, node_id: int) -> None:
+        w = self._dispatched_w.pop(request.req_id, None)
+        if w is not None:
+            self._outstanding_cpu[node_id] = max(
+                0.0, self._outstanding_cpu[node_id] - w)
+            self._outstanding_disk[node_id] = max(
+                0.0, self._outstanding_disk[node_id] - (1.0 - w))
+
+
+class HeteroMSPolicy(MSPolicy):
+    """Speed-aware M/S for heterogeneous clusters.
+
+    The paper notes that on non-uniform nodes "the relative speed in
+    accessing CPU and disk I/O resource needs to be considered" (its
+    adaptive-load-sharing companion work).  Two changes over the
+    homogeneous scheduler:
+
+    * **RSRC with relative speeds** — an idle fast node is worth more than
+      an idle slow one, so Equation 5 becomes
+      ``w/(s_cpu * CPUIdleRatio) + (1-w)/(s_disk * DiskAvailRatio)``;
+    * **capacity-weighted static dispatch** — the accepting master is
+      drawn proportionally to CPU speed rather than uniformly, keeping
+      master utilisations equal across a mixed tier.
+    """
+
+    def __init__(self, num_nodes: int, num_masters: int,
+                 cpu_speeds: Sequence[float],
+                 disk_speeds: Optional[Sequence[float]] = None,
+                 **kwargs):
+        super().__init__(num_nodes, num_masters, **kwargs)
+        cpu = np.asarray(cpu_speeds, dtype=float)
+        if cpu.shape != (num_nodes,):
+            raise ValueError("need one cpu speed per node")
+        if (cpu <= 0).any():
+            raise ValueError("cpu speeds must be positive")
+        disk = (np.asarray(disk_speeds, dtype=float)
+                if disk_speeds is not None else cpu.copy())
+        if disk.shape != (num_nodes,):
+            raise ValueError("need one disk speed per node")
+        if (disk <= 0).any():
+            raise ValueError("disk speeds must be positive")
+        self.cpu_speeds = cpu
+        self.disk_speeds = disk
+        master_caps = cpu[self._masters]
+        self._master_weights = master_caps / master_caps.sum()
+
+    def _random_alive_master(self, view: LoadView) -> int:
+        if view.all_alive():
+            idx = self.rng.choice(len(self._masters),
+                                  p=self._master_weights)
+            return int(self._masters[idx])
+        masters = self._alive(view, self._masters)
+        if len(masters) == 0:
+            return super()._random_alive_master(view)
+        weights = self.cpu_speeds[masters]
+        idx = self.rng.choice(len(masters), p=weights / weights.sum())
+        return int(masters[idx])
+
+    def _route_dynamic(self, request: Request, view: LoadView,
+                       accept: int) -> Route:
+        slaves = self._alive(view, self._slaves)
+        masters = self._alive(view, self._masters)
+        if len(slaves) == 0:
+            candidates = masters
+        elif self.reservation is None or self.reservation.admit_to_master():
+            candidates = np.concatenate([slaves, masters])
+        else:
+            candidates = slaves
+        if len(candidates) == 0:
+            candidates = self._alive(
+                view, np.arange(self.num_nodes, dtype=np.intp))
+            if len(candidates) == 0:
+                raise RuntimeError("no nodes in service")
+        w = (self.sampler.w(request.type_key) if self.sampler is not None
+             else self.default_w)
+        g = self.herding_discount
+        # Effective *capacity* per resource: speed times available ratio,
+        # discounted by work this dispatcher has in flight there.
+        eff_cpu = (self.cpu_speeds * view.cpu_idle_array()
+                   * g ** self._outstanding_cpu)
+        eff_disk = (self.disk_speeds * view.disk_avail_array()
+                    * g ** self._outstanding_disk)
+        node = select_min_rsrc(w, eff_cpu, eff_disk, candidates, self.rng)
+        self._outstanding_cpu[node] += w
+        self._outstanding_disk[node] += 1.0 - w
+        self._dispatched_w[request.req_id] = w
+        if self.reservation is not None:
+            self.reservation.record_decision(self.is_master(node))
+        return Route(node, remote=(node != accept))
+
+
+class RedirectMSPolicy(MSPolicy):
+    """SWEB-style rescheduling by HTTP redirection.
+
+    The authors' earlier SWEB system rebalanced load by sending the client
+    an HTTP redirect to another server; the paper rejects that because "it
+    adds client round-trip latency for every rescheduled request and also
+    exposes IP addresses of server nodes".  This baseline quantifies the
+    first objection: placement decisions are identical to M/S, but moving a
+    request to a node other than its accepting master costs a full client
+    round-trip instead of the 1 ms intra-cluster dispatch.
+    """
+
+    def __init__(self, num_nodes: int, num_masters: int,
+                 client_rtt: float = 0.080, **kwargs):
+        super().__init__(num_nodes, num_masters, **kwargs)
+        if client_rtt < 0:
+            raise ValueError("client_rtt must be >= 0")
+        self.client_rtt = client_rtt
+        self.redirects = 0
+
+    def _route_dynamic(self, request: Request, view: LoadView,
+                       accept: int) -> Route:
+        route = super()._route_dynamic(request, view, accept)
+        if route.remote:
+            self.redirects += 1
+            # The redirect replaces remote execution: the client reconnects
+            # to the target directly (no intra-cluster hop), paying a WAN
+            # round-trip on top.
+            return Route(route.node_id, remote=False,
+                         extra_latency=self.client_rtt,
+                         substitute=route.substitute)
+        return route
+
+
+# -- factories matching the paper's names ----------------------------------------------
+
+
+def make_ms(num_nodes: int, num_masters: int,
+            sampler: Optional[DemandSampler] = None, seed: int = 0,
+            reservation_cfg: Optional[ReservationConfig] = None) -> MSPolicy:
+    """The full optimized scheduler ("M/S")."""
+    return MSPolicy(num_nodes, num_masters, sampler=sampler,
+                    use_sampling=True, use_reservation=True,
+                    reservation_cfg=reservation_cfg, seed=seed)
+
+
+def make_ms_ns(num_nodes: int, num_masters: int, seed: int = 0,
+               reservation_cfg: Optional[ReservationConfig] = None) -> MSPolicy:
+    """M/S-ns: no demand sampling; ``w = 0.5`` for every request."""
+    return MSPolicy(num_nodes, num_masters, sampler=None,
+                    use_sampling=False, use_reservation=True,
+                    reservation_cfg=reservation_cfg, seed=seed)
+
+
+def make_ms_nr(num_nodes: int, num_masters: int,
+               sampler: Optional[DemandSampler] = None,
+               seed: int = 0) -> MSPolicy:
+    """M/S-nr: no reservation of master resources for static requests."""
+    return MSPolicy(num_nodes, num_masters, sampler=sampler,
+                    use_sampling=True, use_reservation=False, seed=seed)
+
+
+def make_ms_1(num_nodes: int,
+              sampler: Optional[DemandSampler] = None,
+              seed: int = 0) -> MSPolicy:
+    """M/S-1: every node is a master (separation ablation)."""
+    return MSPolicy(num_nodes, num_nodes, sampler=sampler,
+                    use_sampling=True, use_reservation=True, seed=seed)
+
+
+POLICY_NAMES = ("MS", "MS-ns", "MS-nr", "MS-1", "Flat", "MSPrime",
+                "RoundRobin", "LeastActive", "Redirect", "DNS")
+
+
+def make_policy(name: str, num_nodes: int, num_masters: int = 1,
+                sampler: Optional[DemandSampler] = None,
+                seed: int = 0) -> Policy:
+    """Construct any policy by its paper name (see ``POLICY_NAMES``)."""
+    key = name.lower()
+    if key == "ms":
+        return make_ms(num_nodes, num_masters, sampler, seed)
+    if key == "ms-ns":
+        return make_ms_ns(num_nodes, num_masters, seed)
+    if key == "ms-nr":
+        return make_ms_nr(num_nodes, num_masters, sampler, seed)
+    if key == "ms-1":
+        return make_ms_1(num_nodes, sampler, seed)
+    if key == "flat":
+        return FlatPolicy(num_nodes, seed)
+    if key == "msprime":
+        return MSPrimePolicy(num_nodes, num_masters, sampler, seed=seed)
+    if key == "roundrobin":
+        return RoundRobinPolicy(num_nodes, seed)
+    if key == "leastactive":
+        return LeastActivePolicy(num_nodes, seed)
+    if key == "redirect":
+        return RedirectMSPolicy(num_nodes, num_masters, sampler=sampler,
+                                seed=seed)
+    if key == "dns":
+        return DNSAffinityPolicy(num_nodes, seed)
+    raise ValueError(f"unknown policy {name!r}; known: {POLICY_NAMES}")

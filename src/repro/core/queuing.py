@@ -1,0 +1,287 @@
+"""Analytic queuing models for the flat and master/slave architectures.
+
+Reproduces Section 3 of the paper.  Both architectures are modelled as
+multi-class open queuing networks with homogeneous servers, Poisson
+arrivals, exponential service and processor-sharing (or FCFS — the stretch
+formulas coincide for M/M/1).  Under processor sharing, a job of size ``d``
+on a server with utilisation ``U`` has expected response ``d / (1 - U)``, so
+the per-class expected stretch factor on that server is ``1 / (1 - U)``.
+
+Notation (matching the paper):
+
+* ``lam_h`` / ``lam_c``: arrival rates of static and dynamic requests,
+* ``mu_h`` / ``mu_c``: service rates of static and dynamic requests,
+* ``p``: number of servers, ``m``: number of masters,
+* ``a = lam_c / lam_h``: arrival-rate ratio,
+* ``r = mu_c / mu_h``: service-rate ratio (``r << 1`` for CGI-heavy sites),
+* ``theta``: fraction of dynamic requests processed at master nodes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+#: Stretch reported for an unstable (overloaded) station.
+UNSTABLE = math.inf
+
+
+@dataclass(frozen=True, slots=True)
+class Workload:
+    """Aggregate workload parameters of a cluster.
+
+    Two equivalent constructions are supported: from absolute rates
+    (:meth:`from_rates`) or from the paper's ratio parameterisation
+    (:meth:`from_ratios` — total rate ``lam``, ratio ``a``, static service
+    rate ``mu_h`` and ratio ``r``).
+    """
+
+    lam_h: float   # static arrival rate (requests/s, whole cluster)
+    lam_c: float   # dynamic arrival rate
+    mu_h: float    # static service rate of one node
+    mu_c: float    # dynamic service rate of one node
+    p: int         # number of nodes
+
+    def __post_init__(self) -> None:
+        if self.lam_h <= 0 or self.lam_c < 0:
+            raise ValueError("arrival rates must be positive (lam_c may be 0)")
+        if self.mu_h <= 0 or self.mu_c <= 0:
+            raise ValueError("service rates must be positive")
+        if self.p < 1:
+            raise ValueError("p must be >= 1")
+
+    # -- constructors ---------------------------------------------------------
+
+    @staticmethod
+    def from_rates(lam_h: float, lam_c: float, mu_h: float, mu_c: float,
+                   p: int) -> "Workload":
+        return Workload(lam_h, lam_c, mu_h, mu_c, p)
+
+    @staticmethod
+    def from_ratios(lam: float, a: float, mu_h: float, r: float,
+                    p: int) -> "Workload":
+        """Paper parameterisation: ``lam = lam_h + lam_c``, ``a``, ``r``.
+
+        >>> w = Workload.from_ratios(lam=1000, a=0.25, mu_h=1200, r=1/40, p=32)
+        >>> round(w.lam_h + w.lam_c, 9)
+        1000.0
+        >>> round(w.a, 9), round(w.r, 9)
+        (0.25, 0.025)
+        """
+        if lam <= 0:
+            raise ValueError("lam must be positive")
+        if a < 0:
+            raise ValueError("a must be >= 0")
+        if not 0 < r:
+            raise ValueError("r must be positive")
+        lam_h = lam / (1.0 + a)
+        lam_c = lam - lam_h
+        return Workload(lam_h, lam_c, mu_h, mu_h * r, p)
+
+    # -- derived quantities ------------------------------------------------------
+
+    @property
+    def lam(self) -> float:
+        """Total arrival rate."""
+        return self.lam_h + self.lam_c
+
+    @property
+    def a(self) -> float:
+        """Arrival-rate ratio ``lam_c / lam_h``."""
+        return self.lam_c / self.lam_h
+
+    @property
+    def r(self) -> float:
+        """Service-rate ratio ``mu_c / mu_h`` (usually << 1)."""
+        return self.mu_c / self.mu_h
+
+    @property
+    def rho(self) -> float:
+        """Static offered load per the whole cluster, ``lam_h / mu_h``."""
+        return self.lam_h / self.mu_h
+
+    @property
+    def total_offered(self) -> float:
+        """Total offered load in node-equivalents: must be < p for
+        stability under any work-conserving assignment."""
+        return self.lam_h / self.mu_h + self.lam_c / self.mu_c
+
+    @property
+    def feasible(self) -> bool:
+        """Whether any schedule can be stable (offered load < capacity)."""
+        return self.total_offered < self.p
+
+
+def _station_stretch(util: float) -> float:
+    """Per-class stretch of an M/M/1-PS station with utilisation ``util``."""
+    if util >= 1.0:
+        return UNSTABLE
+    if util < 0.0:
+        raise ValueError(f"negative utilisation {util}")
+    return 1.0 / (1.0 - util)
+
+
+# -- flat architecture -------------------------------------------------------------
+
+
+def flat_utilization(w: Workload) -> float:
+    """Per-node utilisation under uniform random dispatch."""
+    return (w.lam_h / w.mu_h + w.lam_c / w.mu_c) / w.p
+
+
+def flat_stretch(w: Workload) -> float:
+    """Stretch factor of the flat architecture (Equation 1/2).
+
+    Every node serves the same mix, so static and dynamic classes see the
+    same stretch: ``SF = SF_h = SF_c = 1 / (1 - U_flat)``.
+    """
+    return _station_stretch(flat_utilization(w))
+
+
+# -- master/slave architecture ------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class MSStretch:
+    """Per-class and combined stretch of an M/S configuration."""
+
+    total: float      # SM: arrival-weighted combination
+    master: float     # SM_h = SM_c1: stretch on master nodes
+    slave: float      # SM_c2: stretch of dynamic requests on slaves
+    m: int
+    theta: float
+
+    @property
+    def stable(self) -> bool:
+        return math.isfinite(self.total)
+
+
+def ms_utilizations(w: Workload, m: int, theta: float) -> tuple[float, float]:
+    """(master, slave) utilisations for the M/S model.
+
+    Masters serve all static traffic plus a ``theta`` fraction of dynamic
+    traffic; slaves share the remaining dynamic traffic.
+    """
+    if not 1 <= m <= w.p:
+        raise ValueError(f"m must be in [1, p]; got m={m}, p={w.p}")
+    if not 0.0 <= theta <= 1.0:
+        raise ValueError(f"theta must be in [0, 1]; got {theta}")
+    if m == w.p and theta < 1.0:
+        raise ValueError("with m == p there are no slaves; theta must be 1")
+    u_master = (w.lam_h / w.mu_h + theta * w.lam_c / w.mu_c) / m
+    if m == w.p:
+        u_slave = 0.0
+    else:
+        u_slave = ((1.0 - theta) * w.lam_c / w.mu_c) / (w.p - m)
+    return u_master, u_slave
+
+
+def ms_stretch(w: Workload, m: int, theta: float) -> MSStretch:
+    """Stretch factors of the M/S architecture (Equation 1).
+
+    ``SM = [(1 + a*theta) * SM_master + a*(1 - theta) * SM_slave] / (1 + a)``
+    — static requests and master-side dynamic requests see the master
+    stretch; slave-side dynamic requests see the slave stretch.
+    """
+    u_master, u_slave = ms_utilizations(w, m, theta)
+    s_master = _station_stretch(u_master)
+    s_slave = _station_stretch(u_slave) if m < w.p else 1.0
+    a = w.a
+    if math.isinf(s_master) or (theta < 1.0 and math.isinf(s_slave)):
+        total = UNSTABLE
+    else:
+        total = ((1.0 + a * theta) * s_master
+                 + a * (1.0 - theta) * s_slave) / (1.0 + a)
+    return MSStretch(total=total, master=s_master, slave=s_slave,
+                     m=m, theta=theta)
+
+
+# -- response times and Little's law ---------------------------------------------------
+
+
+def flat_mean_response(w: Workload) -> tuple[float, float]:
+    """(static, dynamic) mean response times in the flat model.
+
+    Per-class mean response is the class's mean demand times the shared
+    station stretch: ``E[T_i] = (1/mu_i) / (1 - U_F)``.
+    """
+    s = flat_stretch(w)
+    return s / w.mu_h, s / w.mu_c
+
+
+def ms_mean_response(w: Workload, m: int,
+                     theta: float) -> tuple[float, float]:
+    """(static, dynamic) mean response times in the M/S model.
+
+    Dynamic requests mix master and slave service according to ``theta``.
+    """
+    ms = ms_stretch(w, m, theta)
+    static = ms.master / w.mu_h
+    dynamic = (theta * ms.master + (1.0 - theta) * ms.slave) / w.mu_c
+    return static, dynamic
+
+
+def mean_in_system(w: Workload, mean_response: float) -> float:
+    """Little's law: expected requests in the system, ``lam * E[T]``."""
+    if mean_response < 0:
+        raise ValueError("mean_response must be >= 0")
+    return w.lam * mean_response
+
+
+def flat_mean_in_system(w: Workload) -> float:
+    """Expected population of the flat cluster (both classes)."""
+    t_h, t_c = flat_mean_response(w)
+    return w.lam_h * t_h + w.lam_c * t_c
+
+
+# -- the M/S' alternative -------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class MSPrimeStretch:
+    """Stretch of the M/S' scheme (static everywhere, dynamic pinned)."""
+
+    total: float
+    dynamic_node: float   # stretch on the k nodes that also run CGI
+    static_node: float    # stretch on the p-k static-only nodes
+    k: int
+
+    @property
+    def stable(self) -> bool:
+        return math.isfinite(self.total)
+
+
+def msprime_stretch(w: Workload, k: int) -> MSPrimeStretch:
+    """Stretch of M/S': dynamic requests pinned to ``k`` nodes, static
+    requests spread uniformly over **all** ``p`` nodes.
+
+    The paper shows this scheme also beats the flat model but is dominated
+    by M/S (Figure 3b).
+    """
+    if not 1 <= k <= w.p:
+        raise ValueError(f"k must be in [1, p]; got k={k}, p={w.p}")
+    u_dyn = w.lam_h / w.mu_h / w.p + (w.lam_c / w.mu_c) / k
+    u_static = w.lam_h / w.mu_h / w.p
+    s_dyn = _station_stretch(u_dyn)
+    s_static = _station_stretch(u_static)
+    if math.isinf(s_dyn):
+        total = UNSTABLE
+    else:
+        # Static requests land on a dynamic-sharing node with prob k/p.
+        frac_on_dyn = k / w.p
+        s_h = frac_on_dyn * s_dyn + (1.0 - frac_on_dyn) * s_static
+        total = (w.lam_h * s_h + w.lam_c * s_dyn) / w.lam
+    return MSPrimeStretch(total=total, dynamic_node=s_dyn,
+                          static_node=s_static, k=k)
+
+
+def best_msprime(w: Workload) -> MSPrimeStretch:
+    """M/S' with the best choice of ``k`` (numeric sweep, as for ``m``)."""
+    best: MSPrimeStretch | None = None
+    for k in range(1, w.p + 1):
+        cand = msprime_stretch(w, k)
+        if best is None or cand.total < best.total:
+            best = cand
+    assert best is not None
+    return best

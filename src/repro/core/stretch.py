@@ -1,0 +1,79 @@
+"""The stretch-factor performance metric (paper Section 2).
+
+"Given a sequence of requests with execution times (or called service
+demands) d_1, d_2, ..., d_n and their request response times at the server
+site t_1, ..., t_n, the stretch factor is ``sum(t_i/d_i) / n``."
+
+The stretch factor relates a customer's waiting time to its service demand:
+small requests are expected to finish fast, large requests may wait longer.
+A system with high stretch is overloaded; a system with high *response time*
+may simply be running long jobs.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def stretch_factor(response_times: Sequence[float],
+                   demands: Sequence[float]) -> float:
+    """Mean slowdown ``mean(t_i / d_i)`` of a completed request sequence.
+
+    Raises on impossible samples (a response time below the corresponding
+    service demand would mean the request ran faster than on an idle node).
+
+    >>> stretch_factor([2.0, 4.0], [1.0, 2.0])
+    2.0
+    """
+    t = np.asarray(response_times, dtype=float)
+    d = np.asarray(demands, dtype=float)
+    if t.shape != d.shape:
+        raise ValueError("response_times and demands must have the same shape")
+    if t.size == 0:
+        raise ValueError("empty sample")
+    if (d <= 0).any():
+        raise ValueError("demands must be positive")
+    if (t < d - 1e-12).any():
+        raise ValueError("response time below service demand — impossible")
+    return float(np.mean(t / d))
+
+
+def combine_stretch(stretches: Sequence[float],
+                    weights: Sequence[float]) -> float:
+    """Arrival-rate-weighted combination of per-class stretch factors.
+
+    This is Equation 2's pattern: the overall stretch of a multi-class
+    system is the per-class stretch weighted by each class's share of the
+    request stream.
+
+    >>> combine_stretch([1.0, 3.0], [3.0, 1.0])
+    1.5
+    """
+    s = np.asarray(stretches, dtype=float)
+    w = np.asarray(weights, dtype=float)
+    if s.shape != w.shape:
+        raise ValueError("stretches and weights must have the same shape")
+    if s.size == 0:
+        raise ValueError("empty sample")
+    if (w < 0).any() or w.sum() <= 0:
+        raise ValueError("weights must be non-negative with positive sum")
+    return float(np.sum(s * w) / np.sum(w))
+
+
+def improvement_percent(baseline: float, candidate: float) -> float:
+    """The paper's improvement metric ``(baseline/candidate - 1) * 100``.
+
+    Positive means ``candidate`` (usually M/S) beats ``baseline``.
+
+    >>> improvement_percent(3.0, 2.0)
+    50.0
+    """
+    if candidate <= 0:
+        raise ValueError("candidate stretch must be positive")
+    if not np.isfinite(candidate):
+        raise ValueError("candidate stretch must be finite")
+    if not np.isfinite(baseline):
+        return float("inf")
+    return (baseline / candidate - 1.0) * 100.0

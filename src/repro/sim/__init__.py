@@ -1,0 +1,1 @@
+"""Trace-driven cluster simulator (event kernel + OS substrates)."""

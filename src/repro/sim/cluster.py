@@ -1,0 +1,280 @@
+"""Cluster assembly: nodes + load monitor + dispatch policy + metrics.
+
+The cluster plays the role of the paper's front end (load-balancing switch
+or DNS plus the master-level acceptors).  Every arriving request is routed
+by the configured :class:`~repro.core.policies.Policy`; a request executed
+on a node other than the one that accepted it pays the remote-CGI network
+latency before admission.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+import numpy as np
+
+from repro.core.policies import Policy, Route
+from repro.sim.config import SimConfig
+from repro.sim.engine import Engine
+from repro.sim.failures import FailurePolicy
+from repro.sim.metrics import MetricsCollector, MetricsReport
+from repro.sim.monitor import LoadMonitor
+from repro.sim.node import Node
+from repro.sim.process import SimProcess
+from repro.workload.request import Request
+
+
+class ClusterView:
+    """The load information a scheduler is allowed to see.
+
+    Values come from the periodic :class:`LoadMonitor`, so they are stale by
+    up to one monitoring period — as they would be when polling ``rstat()``.
+    """
+
+    __slots__ = ("_cluster",)
+
+    def __init__(self, cluster: "Cluster"):
+        self._cluster = cluster
+
+    @property
+    def num_nodes(self) -> int:
+        return self._cluster.cfg.num_nodes
+
+    @property
+    def now(self) -> float:
+        return self._cluster.engine.now
+
+    def cpu_idle(self, node_id: int) -> float:
+        return float(self._cluster.monitor.cpu_idle[node_id])
+
+    def disk_avail(self, node_id: int) -> float:
+        return float(self._cluster.monitor.disk_avail[node_id])
+
+    def cpu_idle_array(self) -> np.ndarray:
+        """Read-only snapshot array (do not mutate)."""
+        return self._cluster.monitor.cpu_idle
+
+    def disk_avail_array(self) -> np.ndarray:
+        """Read-only snapshot array (do not mutate)."""
+        return self._cluster.monitor.disk_avail
+
+    def active_requests(self, node_id: int) -> int:
+        """Instantaneous in-flight count — used only by baseline policies
+        that model a connection-counting switch."""
+        return self._cluster.nodes[node_id].active
+
+    def is_alive(self, node_id: int) -> bool:
+        return bool(self._cluster.alive[node_id])
+
+    def all_alive(self) -> bool:
+        """O(1) fast path: no node is out of service."""
+        return self._cluster.alive_count == self._cluster.cfg.num_nodes
+
+    def alive_array(self) -> np.ndarray:
+        """Read-only membership snapshot (do not mutate)."""
+        return self._cluster.alive
+
+
+class Cluster:
+    """A simulated Web-server cluster with a pluggable dispatch policy.
+
+    Optional failure semantics (crashes, recruitment) are controlled by a
+    :class:`~repro.sim.failures.FailurePolicy`; by default all nodes are
+    alive for the whole run and none of the failure paths fire.
+    """
+
+    def __init__(self, cfg: SimConfig, policy: Policy,
+                 failure_policy: Optional[FailurePolicy] = None):
+        cfg.validate()
+        if policy.num_nodes != cfg.num_nodes:
+            raise ValueError(
+                f"policy is sized for {policy.num_nodes} nodes but the "
+                f"cluster has {cfg.num_nodes}"
+            )
+        self.cfg = cfg
+        self.policy = policy
+        self.engine = Engine()
+        seeds = np.random.SeedSequence(cfg.seed).spawn(cfg.num_nodes)
+        self.nodes = [
+            Node(self.engine, cfg, i, np.random.default_rng(seeds[i]),
+                 self._on_complete)
+            for i in range(cfg.num_nodes)
+        ]
+        self.monitor = LoadMonitor(self.engine, cfg.monitor, self.nodes)
+        self.monitor.start()
+        self.metrics = MetricsCollector()
+        self.view = ClusterView(self)
+        #: Route per in-flight request, keyed by req_id (a request may sit
+        #: in a node's listen backlog before any process exists for it).
+        self._routes: Dict[int, Route] = {}
+        self._background_ids: set[int] = set()
+        self.submitted = 0
+        self.background_completed = 0
+        self.failure_policy = failure_policy or FailurePolicy()
+        self.failure_policy.validate()
+        #: Membership: which nodes are currently in service.
+        self.alive = np.ones(cfg.num_nodes, dtype=bool)
+        self.alive_count = cfg.num_nodes
+        self.restarted_requests = 0
+        self.denied_attempts = 0
+
+    # -- submission ---------------------------------------------------------------
+
+    def submit(self, request: Request) -> None:
+        """Schedule one request's arrival."""
+        self.engine.schedule_at(request.arrival_time, self._arrive, request)
+        self.submitted += 1
+
+    def submit_many(self, requests: Iterable[Request]) -> int:
+        """Schedule a whole trace.  Returns the number of requests queued."""
+        n = 0
+        for req in requests:
+            self.submit(req)
+            n += 1
+        return n
+
+    # -- arrival / completion ---------------------------------------------------
+
+    def _arrive(self, request: Request) -> None:
+        route = self.policy.route(request, self.view)
+        if not 0 <= route.node_id < self.cfg.num_nodes:
+            raise ValueError(
+                f"policy routed request {request.req_id} to invalid node "
+                f"{route.node_id}"
+            )
+        if not self.alive[route.node_id]:
+            # A failure-unaware front end (DNS rotation with cached IPs)
+            # picked a dead node: the client times out and retries.
+            self.denied_attempts += 1
+            self.engine.schedule(self.failure_policy.client_retry_timeout,
+                                 self._arrive, request)
+            return
+        latency = self.cfg.network.frontend_latency + route.extra_latency
+        if route.remote:
+            latency += self.cfg.network.remote_cgi_latency
+        if latency > 0.0:
+            self.engine.schedule(latency, self._admit, request, route, latency)
+        else:
+            self._admit(request, route, 0.0)
+
+    def _admit(self, request: Request, route: Route, latency: float) -> None:
+        if not self.alive[route.node_id]:
+            # The node died during the dispatch hop; re-route.
+            self.engine.schedule(self.failure_policy.detection_delay,
+                                 self._arrive, request)
+            return
+        executed = route.substitute if route.substitute is not None \
+            else request
+        self._routes[executed.req_id] = route
+        self.nodes[route.node_id].admit(executed, dispatch_latency=latency)
+
+    # -- membership -----------------------------------------------------------
+
+    def fail_node(self, node_id: int) -> int:
+        """Crash a node; restart its in-flight foreground requests
+        elsewhere per the failure policy.  Returns the number of requests
+        restarted.  Idempotent for already-dead nodes."""
+        if not self.alive[node_id]:
+            return 0
+        self.alive[node_id] = False
+        self.alive_count -= 1
+        aborted, queued = self.nodes[node_id].fail()
+        restarted = 0
+        for request in [proc.request for proc in aborted] + queued:
+            if request.req_id in self._background_ids:
+                self._background_ids.discard(request.req_id)
+                continue
+            self._routes.pop(request.req_id, None)
+            if self.failure_policy.restart_inflight:
+                self.engine.schedule(self.failure_policy.detection_delay,
+                                     self._arrive, request)
+                restarted += 1
+        self.restarted_requests += restarted
+        return restarted
+
+    def recover_node(self, node_id: int) -> None:
+        """Bring a crashed or standby node (back) into service."""
+        self.nodes[node_id].recover()
+        if not self.alive[node_id]:
+            self.alive_count += 1
+        self.alive[node_id] = True
+
+    def retire_node(self, node_id: int) -> None:
+        """Take an idle node out of service without the crash semantics
+        (used to initialise recruitment-pool standby nodes)."""
+        if self.nodes[node_id].active:
+            raise RuntimeError(
+                f"node {node_id} has in-flight work; use fail_node")
+        self.nodes[node_id].failed = True
+        if self.alive[node_id]:
+            self.alive_count -= 1
+        self.alive[node_id] = False
+
+    def admit_background(self, request: Request, node_id: int) -> SimProcess:
+        """Run a request on a node *outside* the measured workload.
+
+        Background jobs consume CPU, disk and memory like any process but
+        are excluded from metrics and policy feedback.  The testbed
+        emulator uses this to model the "background jobs running in the
+        cluster" that the paper cites as the gap between its simulator and
+        the real Sun cluster.
+        """
+        if not 0 <= node_id < self.cfg.num_nodes:
+            raise ValueError(f"invalid node {node_id}")
+        self._background_ids.add(request.req_id)
+        return self.nodes[node_id].admit(request)
+
+    def _on_complete(self, node: Node, proc: SimProcess) -> None:
+        req_id = proc.request.req_id
+        if req_id in self._background_ids:
+            self._background_ids.discard(req_id)
+            self.background_completed += 1
+            return
+        route = self._routes.pop(req_id)
+        on_master = self.policy.is_master(proc.node_id)
+        self.metrics.record(proc, route.remote, on_master)
+        response = proc.finish_time - proc.request.arrival_time
+        self.policy.on_complete(proc.request, response, on_master,
+                                proc.node_id)
+
+    # -- running ------------------------------------------------------------------
+
+    def run(self, until: Optional[float] = None,
+            max_events: Optional[int] = None) -> int:
+        """Run the event loop; see :meth:`Engine.run`."""
+        return self.engine.run(until=until, max_events=max_events)
+
+    def replay(self, requests: Iterable[Request], drain: float = 60.0,
+               warmup: float = 0.0) -> MetricsReport:
+        """Submit a trace, run it to completion, and summarise.
+
+        Parameters
+        ----------
+        requests:
+            The trace (arrival times must be non-decreasing is *not*
+            required; the event heap orders them).
+        drain:
+            Extra virtual time allowed after the last arrival for queued
+            work to finish.
+        warmup:
+            Passed through to :meth:`MetricsCollector.report`.
+        """
+        n = self.submit_many(requests)
+        if n == 0:
+            raise ValueError("empty trace")
+        last_arrival = max(self.metrics_last_arrival(), 0.0)
+        deadline = last_arrival + drain
+        self.run(until=deadline)
+        # Under heavy load queues may still be draining: extend, bounded.
+        extensions = 0
+        while any(node.active for node in self.nodes) and extensions < 20:
+            deadline += drain
+            self.run(until=deadline)
+            extensions += 1
+        return self.metrics.report(warmup=warmup)
+
+    def metrics_last_arrival(self) -> float:
+        """Latest scheduled arrival time (for drain sizing)."""
+        times = [ev.time for _, _, ev in self.engine._heap
+                 if not ev.cancelled and ev.fn == self._arrive]
+        return max(times) if times else self.engine.now

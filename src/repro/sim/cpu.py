@@ -1,0 +1,218 @@
+"""BSD-4.3-flavoured CPU scheduler (one CPU per node).
+
+Implements the paper's description of its simulator: "CPU scheduling is
+based on the UNIX BSD 4.3 strategy.  The process ready queue is a multilevel
+feedback queue divided into multiple lists according to process priority.
+Processes are scheduled based on priority and may be preempted following
+quantum expiration."
+
+Mechanics
+---------
+* 32 priority levels (configurable); level 0 is best.
+* A process's level is ``min(levels-1, decayed_cpu_usage / usage_per_level)``
+  — CPU hogs sink, interactive/short processes stay on top.  This is the
+  classic ``p_usrpri = PUSER + p_cpu/4`` rule with constants folded.
+* The usage accumulator decays multiplicatively once per priority-update
+  period (100 ms).  Decay is applied lazily from timestamps instead of with
+  a periodic event, which is mathematically identical and far cheaper.
+* Quantum expiry requeues the process at its (worse) current level.
+* A waking process with a strictly better level preempts the running one
+  (BSD preempts on return from the wakeup's interrupt).
+* Every switch to a different process than the one last on the CPU is
+  charged the context-switch overhead.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Optional
+
+from repro.sim.config import CPUConfig
+from repro.sim.engine import Engine
+from repro.sim.process import ProcState, SimProcess
+
+_EPS = 1e-12
+
+
+class CPU:
+    """Preemptive multilevel-feedback-queue CPU for one node.
+
+    Parameters
+    ----------
+    engine:
+        Shared event engine.
+    cfg:
+        Scheduler constants.
+    on_burst_done:
+        Callback ``fn(proc)`` invoked when a process finishes its current
+        CPU burst (the node then routes it to the disk or to completion).
+    """
+
+    __slots__ = (
+        "engine", "cfg", "on_burst_done", "queues", "current",
+        "_last_proc", "busy_time", "_slice_start", "_slice_overhead",
+        "_slice_len", "_dispatching", "switches", "preemptions",
+        "_occupied",
+    )
+
+    def __init__(self, engine: Engine, cfg: CPUConfig,
+                 on_burst_done: Callable[[SimProcess], None]):
+        self.engine = engine
+        self.cfg = cfg
+        self.on_burst_done = on_burst_done
+        self.queues: list[deque[SimProcess]] = [deque() for _ in range(cfg.num_queues)]
+        self.current: Optional[SimProcess] = None
+        self._last_proc: Optional[SimProcess] = None
+        self.busy_time = 0.0      # cumulative busy (work + switch overhead)
+        self._slice_start = 0.0
+        self._slice_overhead = 0.0
+        self._slice_len = 0.0
+        self._dispatching = False
+        self.switches = 0
+        self.preemptions = 0
+        # Bitmask of non-empty run-queue levels: bit i set <=> queues[i]
+        # holds at least one process.  Lets dispatch find the best level
+        # with one bit trick instead of scanning 32 deques.
+        self._occupied = 0
+
+    # -- priority bookkeeping ------------------------------------------------
+
+    def _decay_usage(self, proc: SimProcess, now: float) -> None:
+        period = self.cfg.priority_update_period
+        elapsed = now - proc.usage_stamp
+        if elapsed < period:
+            return
+        periods = int(elapsed / period)
+        proc.cpu_usage *= self.cfg.usage_decay ** periods
+        proc.usage_stamp += periods * period
+
+    def _level(self, proc: SimProcess, now: float) -> int:
+        self._decay_usage(proc, now)
+        level = int(proc.cpu_usage / self.cfg.usage_per_level)
+        top = self.cfg.num_queues - 1
+        return top if level > top else level
+
+    # -- public interface ----------------------------------------------------
+
+    def make_runnable(self, proc: SimProcess) -> None:
+        """Add a process to the run queue; may preempt the running one."""
+        now = self.engine.now
+        level = self._level(proc, now)
+        proc.priority = level
+        proc.state = ProcState.READY
+        self.queues[level].append(proc)
+        self._occupied |= 1 << level
+
+        if self.current is None:
+            if not self._dispatching:
+                self._dispatch()
+        elif level < self.current.priority:
+            self._preempt()
+
+    @property
+    def runnable(self) -> int:
+        """Processes ready or running (the node's CPU queue length)."""
+        n = sum(len(q) for q in self.queues)
+        return n + (1 if self.current is not None else 0)
+
+    def abort_all(self) -> None:
+        """Drop every queued and running process (node failure)."""
+        if self.current is not None and self.current.slice_event is not None:
+            self.current.slice_event.cancel()
+            self.current.slice_event = None
+        self.current = None
+        for queue in self.queues:
+            queue.clear()
+        self._occupied = 0
+        self._last_proc = None
+
+    # -- internals -----------------------------------------------------------
+
+    def _preempt(self) -> None:
+        """Stop the current slice early and put the process back to READY."""
+        proc = self.current
+        assert proc is not None
+        now = self.engine.now
+        if proc.slice_event is not None:
+            proc.slice_event.cancel()
+            proc.slice_event = None
+        work_start = self._slice_start + self._slice_overhead
+        work_done = max(0.0, now - work_start)
+        self._account(proc, now - self._slice_start, work_done)
+        self.preemptions += 1
+        self.current = None
+        proc.state = ProcState.READY
+        if proc.burst_remaining <= _EPS:
+            # The burst happened to finish exactly at the preemption point.
+            self._finish_burst(proc)
+        else:
+            level = self._level(proc, now)
+            proc.priority = level
+            self.queues[level].append(proc)
+            self._occupied |= 1 << level
+        if self.current is None and not self._dispatching:
+            self._dispatch()
+
+    def _account(self, proc: SimProcess, wall: float, work: float) -> None:
+        """Charge a (partial) slice against the process and the CPU."""
+        self.busy_time += wall
+        proc.cpu_time_used += work
+        self._decay_usage(proc, self.engine.now)
+        proc.cpu_usage += work
+        proc.burst_remaining -= work
+        self._last_proc = proc
+
+    def _dispatch(self) -> None:
+        """Put the best-priority ready process on the CPU."""
+        self._dispatching = True
+        try:
+            occupied = self._occupied
+            if not occupied:
+                return
+            level = (occupied & -occupied).bit_length() - 1
+            queue = self.queues[level]
+            proc = queue.popleft()
+            proc.priority = level
+            if not queue:
+                self._occupied = occupied & ~(1 << level)
+            now = self.engine.now
+            overhead = (
+                self.cfg.context_switch_overhead
+                if proc is not self._last_proc
+                else 0.0
+            )
+            if overhead:
+                self.switches += 1
+            slice_len = min(self.cfg.quantum, proc.burst_remaining)
+            self.current = proc
+            proc.state = ProcState.RUNNING
+            self._slice_start = now
+            self._slice_overhead = overhead
+            self._slice_len = slice_len
+            proc.slice_event = self.engine.schedule(
+                overhead + slice_len, self._on_slice_end, proc
+            )
+        finally:
+            self._dispatching = False
+
+    def _on_slice_end(self, proc: SimProcess) -> None:
+        assert proc is self.current
+        proc.slice_event = None
+        self._account(proc, self._slice_overhead + self._slice_len, self._slice_len)
+        self.current = None
+        if proc.burst_remaining <= _EPS:
+            self._finish_burst(proc)
+        else:
+            # Quantum expiry: requeue at the (now worse) level.
+            now = self.engine.now
+            level = self._level(proc, now)
+            proc.priority = level
+            proc.state = ProcState.READY
+            self.queues[level].append(proc)
+            self._occupied |= 1 << level
+        if self.current is None and not self._dispatching:
+            self._dispatch()
+
+    def _finish_burst(self, proc: SimProcess) -> None:
+        proc.burst_remaining = 0.0
+        self.on_burst_done(proc)

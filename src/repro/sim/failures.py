@@ -1,0 +1,142 @@
+"""Failure injection and dynamic node recruitment.
+
+The paper motivates the master/slave architecture with exactly these two
+operational properties (Sections 1-2):
+
+* **Failure masking** — "hiding server failures is critical"; slaves can
+  die and masters restart their dynamic work elsewhere, while a DNS-based
+  flat cluster keeps sending clients to dead IPs.
+* **Dynamic resource recruitment** — "neither DNS nor switch based
+  solutions provide a convenient way to dynamically recruit idle resources
+  in handling peak load"; non-dedicated machines can join the slave pool
+  when idle and leave when reclaimed.
+
+This module provides the scenario drivers; the mechanics (aborting
+in-flight work, restarting requests, alive-set routing) live in
+:mod:`repro.sim.cluster` and :mod:`repro.sim.node`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.cluster import Cluster
+
+
+@dataclass(slots=True)
+class FailurePolicy:
+    """How the cluster reacts to crashes and mis-routed requests."""
+
+    #: Time for masters / the switch to notice a crash and restart the
+    #: victim's in-flight dynamic requests elsewhere (sub-second detection,
+    #: as the paper credits load-balancing switches with).
+    detection_delay: float = 0.5
+    #: Client-side retry timeout when an unaware front end (DNS rotation
+    #: with cached IPs) sends a request to a dead node.  Era-typical TCP
+    #: connect retry.
+    client_retry_timeout: float = 3.0
+    #: Whether aborted in-flight requests are restarted at all (masters do
+    #: this for slaves; a flat cluster relies on the client).
+    restart_inflight: bool = True
+
+    def validate(self) -> None:
+        if self.detection_delay < 0:
+            raise ValueError("detection_delay must be >= 0")
+        if self.client_retry_timeout <= 0:
+            raise ValueError("client_retry_timeout must be positive")
+
+
+class FailureInjector:
+    """Schedules crash/recovery events against a cluster.
+
+    >>> # injector = FailureInjector(cluster)
+    >>> # injector.crash(node_id=5, at=10.0, duration=30.0)
+    """
+
+    def __init__(self, cluster: "Cluster"):
+        self.cluster = cluster
+        self.scheduled: List[Tuple[float, int, Optional[float]]] = []
+
+    def crash(self, node_id: int, at: float,
+              duration: Optional[float] = None) -> None:
+        """Crash ``node_id`` at virtual time ``at``; recover after
+        ``duration`` seconds (``None`` = stays dead)."""
+        if at < self.cluster.engine.now:
+            raise ValueError("cannot schedule a crash in the past")
+        self.cluster.engine.schedule_at(
+            at, self.cluster.fail_node, node_id)
+        if duration is not None:
+            if duration <= 0:
+                raise ValueError("duration must be positive")
+            self.cluster.engine.schedule_at(
+                at + duration, self.cluster.recover_node, node_id)
+        self.scheduled.append((at, node_id, duration))
+
+    def random_crashes(self, rate: float, horizon: float,
+                       mttr: float, rng: np.random.Generator,
+                       nodes: Optional[Sequence[int]] = None) -> int:
+        """Poisson crash arrivals over ``[now, horizon]``.
+
+        Each crash picks a uniform victim and repairs after an exponential
+        time with mean ``mttr``.  Returns the number of crashes scheduled.
+        """
+        if rate < 0 or mttr <= 0:
+            raise ValueError("rate must be >= 0 and mttr positive")
+        pool = list(nodes) if nodes is not None \
+            else list(range(self.cluster.cfg.num_nodes))
+        t = self.cluster.engine.now
+        n = 0
+        while True:
+            t += rng.exponential(1.0 / rate) if rate > 0 else float("inf")
+            if t > horizon:
+                break
+            victim = int(pool[rng.integers(len(pool))])
+            self.crash(victim, at=t, duration=float(rng.exponential(mttr)))
+            n += 1
+        return n
+
+
+class RecruitmentSchedule:
+    """Drives a pool of non-dedicated nodes joining/leaving the cluster.
+
+    Recruited nodes are ordinary cluster nodes that start *out of service*
+    (standby) and are brought in when their owners go idle — the
+    "dynamically recruit idle resources in handling peak load" scenario.
+    Policies see them through the alive set like any other node.
+    """
+
+    def __init__(self, cluster: "Cluster", pool: Sequence[int]):
+        ids = list(pool)
+        if not ids:
+            raise ValueError("recruitment pool is empty")
+        if not all(0 <= i < cluster.cfg.num_nodes for i in ids):
+            raise ValueError("pool node ids out of range")
+        self.cluster = cluster
+        self.pool = ids
+        # Standby nodes start out of service.
+        for node_id in ids:
+            cluster.retire_node(node_id)
+
+    def join(self, node_id: int, at: float) -> None:
+        """Bring a pool node into service at virtual time ``at``."""
+        self._check(node_id)
+        self.cluster.engine.schedule_at(at, self.cluster.recover_node,
+                                        node_id)
+
+    def leave(self, node_id: int, at: float) -> None:
+        """Reclaim a pool node (graceful: in-flight work is restarted
+        elsewhere like a crash, since its owner wants it back)."""
+        self._check(node_id)
+        self.cluster.engine.schedule_at(at, self.cluster.fail_node, node_id)
+
+    def join_all(self, at: float) -> None:
+        for node_id in self.pool:
+            self.join(node_id, at)
+
+    def _check(self, node_id: int) -> None:
+        if node_id not in self.pool:
+            raise ValueError(f"node {node_id} is not in the recruitment pool")

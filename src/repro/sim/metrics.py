@@ -1,0 +1,152 @@
+"""Response-time collection and the paper's stretch-factor metric.
+
+"Given a sequence of requests with execution times d_1..d_n and their
+request response times at the server site t_1..t_n, the stretch factor is
+``sum(t_i / d_i) / n``."  Internet delay is excluded; response time is the
+interval between arrival at the cluster and the end of processing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.sim.process import SimProcess
+from repro.workload.request import RequestKind
+
+
+@dataclass(slots=True)
+class ClassStats:
+    """Summary statistics for one request class (or the whole run)."""
+
+    count: int
+    stretch: float
+    mean_response: float
+    median_response: float
+    p95_response: float
+    mean_demand: float
+
+    @staticmethod
+    def empty() -> "ClassStats":
+        return ClassStats(0, float("nan"), float("nan"), float("nan"),
+                          float("nan"), float("nan"))
+
+
+@dataclass(slots=True)
+class MetricsReport:
+    """Result of one replay: overall and per-class stats plus counters."""
+
+    overall: ClassStats
+    static: ClassStats
+    dynamic: ClassStats
+    completed: int
+    duration: float
+    remote_dispatches: int
+    master_dynamic: int        # dynamic requests executed on masters
+    dynamic_total: int
+
+    @property
+    def throughput(self) -> float:
+        return self.completed / self.duration if self.duration > 0 else 0.0
+
+    @property
+    def master_dynamic_fraction(self) -> float:
+        """Observed fraction of dynamic requests that ran on masters."""
+        if self.dynamic_total == 0:
+            return 0.0
+        return self.master_dynamic / self.dynamic_total
+
+
+class MetricsCollector:
+    """Accumulates per-request samples during a replay."""
+
+    __slots__ = ("arrivals", "finishes", "demands", "kinds", "nodes",
+                 "remotes", "on_master", "remote_dispatches")
+
+    def __init__(self) -> None:
+        self.arrivals: List[float] = []
+        self.finishes: List[float] = []
+        self.demands: List[float] = []
+        self.kinds: List[int] = []
+        self.nodes: List[int] = []
+        self.remotes: List[bool] = []
+        self.on_master: List[bool] = []
+        self.remote_dispatches = 0
+
+    def record(self, proc: SimProcess, remote: bool, on_master: bool) -> None:
+        """Append one completed request's sample."""
+        req = proc.request
+        self.arrivals.append(req.arrival_time)
+        self.finishes.append(proc.finish_time)
+        self.demands.append(req.demand)
+        self.kinds.append(int(req.kind))
+        self.nodes.append(proc.node_id)
+        self.remotes.append(remote)
+        self.on_master.append(on_master)
+        if remote:
+            self.remote_dispatches += 1
+
+    def __len__(self) -> int:
+        return len(self.arrivals)
+
+    # -- reporting --------------------------------------------------------------
+
+    def report(self, warmup: float = 0.0, cutoff: Optional[float] = None) -> MetricsReport:
+        """Summarise completed requests.
+
+        Parameters
+        ----------
+        warmup:
+            Ignore requests that *arrived* before this virtual time
+            (queue-fill transient).
+        cutoff:
+            Ignore requests that arrived after this time (drain transient).
+        """
+        arr = np.asarray(self.arrivals)
+        fin = np.asarray(self.finishes)
+        dem = np.asarray(self.demands)
+        kin = np.asarray(self.kinds)
+        rem = np.asarray(self.remotes, dtype=bool)
+        mas = np.asarray(self.on_master, dtype=bool)
+
+        mask = arr >= warmup
+        if cutoff is not None:
+            mask &= arr <= cutoff
+        arr, fin, dem, kin = arr[mask], fin[mask], dem[mask], kin[mask]
+        rem, mas = rem[mask], mas[mask]
+
+        resp = fin - arr
+        dyn_mask = kin == int(RequestKind.DYNAMIC)
+
+        def stats(sel: np.ndarray) -> ClassStats:
+            if not sel.any():
+                return ClassStats.empty()
+            r, d = resp[sel], dem[sel]
+            return ClassStats(
+                count=int(sel.sum()),
+                stretch=float(np.mean(r / d)),
+                mean_response=float(r.mean()),
+                median_response=float(np.median(r)),
+                p95_response=float(np.percentile(r, 95)),
+                mean_demand=float(d.mean()),
+            )
+
+        all_mask = np.ones(len(resp), dtype=bool)
+        duration = float(fin.max() - arr.min()) if len(resp) else 0.0
+        return MetricsReport(
+            overall=stats(all_mask),
+            static=stats(~dyn_mask),
+            dynamic=stats(dyn_mask),
+            completed=int(len(resp)),
+            duration=duration,
+            remote_dispatches=int(rem.sum()),
+            master_dynamic=int((dyn_mask & mas).sum()),
+            dynamic_total=int(dyn_mask.sum()),
+        )
+
+
+# Canonical definition lives in the core package; re-exported here for
+# convenience when working with replay outputs.
+from repro.core.stretch import stretch_factor  # noqa: E402,F401

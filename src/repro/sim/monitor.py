@@ -1,0 +1,67 @@
+"""Cluster load monitor — the simulated counterpart of polling ``rstat()``.
+
+"In our implementation, we use the Unix rstat() function to collect the load
+information on each node" and the scheduler "use[s] periodically-updated I/O
+and CPU load information".
+
+The monitor samples every node's CPU and disk busy time once per period and
+exposes smoothed **CPUIdleRatio** and **DiskAvailRatio** arrays.  Between
+samples the scheduler sees stale values — exactly the staleness a real
+deployment has, and a knob worth ablating.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.sim.config import MonitorConfig
+from repro.sim.engine import Engine
+from repro.sim.node import Node
+
+
+class LoadMonitor:
+    """Periodic sampler of per-node CPU-idle and disk-available ratios."""
+
+    __slots__ = ("engine", "cfg", "nodes", "cpu_idle", "disk_avail",
+                 "_last_cpu_busy", "_last_disk_busy", "_last_sample_time",
+                 "samples")
+
+    def __init__(self, engine: Engine, cfg: MonitorConfig, nodes: Sequence[Node]):
+        self.engine = engine
+        self.cfg = cfg
+        self.nodes = nodes
+        n = len(nodes)
+        #: Smoothed fraction of idle CPU time per node, in [0, 1].
+        self.cpu_idle = np.ones(n)
+        #: Smoothed fraction of available disk bandwidth per node, in [0, 1].
+        self.disk_avail = np.ones(n)
+        self._last_cpu_busy = np.zeros(n)
+        self._last_disk_busy = np.zeros(n)
+        self._last_sample_time = engine.now
+        self.samples = 0
+
+    def start(self) -> None:
+        """Schedule the first sampling tick."""
+        self.engine.schedule(self.cfg.period, self._tick)
+
+    def _tick(self) -> None:
+        now = self.engine.now
+        window = now - self._last_sample_time
+        if window > 0:
+            s = self.cfg.smoothing
+            for i, node in enumerate(self.nodes):
+                cpu_busy = node.cpu.busy_time
+                disk_busy = node.disk.busy_time
+                cpu_util = (cpu_busy - self._last_cpu_busy[i]) / window
+                disk_util = (disk_busy - self._last_disk_busy[i]) / window
+                self._last_cpu_busy[i] = cpu_busy
+                self._last_disk_busy[i] = disk_busy
+                idle = min(1.0, max(0.0, 1.0 - cpu_util))
+                avail = min(1.0, max(0.0, 1.0 - disk_util))
+                self.cpu_idle[i] = s * idle + (1.0 - s) * self.cpu_idle[i]
+                self.disk_avail[i] = s * avail + (1.0 - s) * self.disk_avail[i]
+        self._last_sample_time = now
+        self.samples += 1
+        self.engine.schedule(self.cfg.period, self._tick)

@@ -1,0 +1,250 @@
+"""A server node: one CPU, one disk, one memory pool.
+
+The node admits :class:`~repro.workload.request.Request` objects, lays their
+service demand out as a burst plan (prepending the CGI fork cost and any
+cold-start page-fault I/O), and shepherds the resulting
+:class:`~repro.sim.process.SimProcess` between the CPU and the disk until it
+completes.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.sim.config import SimConfig
+from repro.sim.cpu import CPU
+from repro.sim.disk import Disk
+from repro.sim.engine import Engine
+from repro.sim.memory import MemoryManager
+from repro.sim.process import (
+    CPU_BURST,
+    IO_BURST,
+    ProcState,
+    SimProcess,
+    build_plan,
+)
+from repro.workload.request import Request
+
+
+class Node:
+    """One homogeneous cluster node.
+
+    Parameters
+    ----------
+    engine:
+        Shared event engine.
+    cfg:
+        Cluster configuration (node-level constants are read from it).
+    node_id:
+        Index of this node within the cluster.
+    rng:
+        Node-private random generator (burst jitter).
+    on_complete:
+        Callback ``fn(node, proc)`` invoked when a request finishes.
+    """
+
+    __slots__ = ("engine", "cfg", "node_id", "rng", "on_complete",
+                 "cpu", "disk", "memory", "active", "admitted", "completed",
+                 "static_misses", "cpu_speed", "disk_speed", "procs",
+                 "failed", "failures", "backlog", "busy_slots", "transfers")
+
+    def __init__(self, engine: Engine, cfg: SimConfig, node_id: int,
+                 rng: np.random.Generator,
+                 on_complete: Callable[["Node", SimProcess], None]):
+        self.engine = engine
+        self.cfg = cfg
+        self.node_id = node_id
+        self.rng = rng
+        self.on_complete = on_complete
+        self.cpu = CPU(engine, cfg.cpu, self._on_cpu_burst_done)
+        self.disk = Disk(engine, cfg.disk, self._on_io_burst_done)
+        self.memory = MemoryManager(cfg.memory, rng)
+        self.active = 0
+        self.admitted = 0
+        self.completed = 0
+        self.static_misses = 0
+        #: Heterogeneity: speed multipliers relative to the reference node.
+        self.cpu_speed = cfg.node_cpu_speed(node_id)
+        self.disk_speed = cfg.node_disk_speed(node_id)
+        #: In-flight processes, for failure handling.
+        self.procs: set = set()
+        self.failed = False
+        self.failures = 0
+        #: Requests waiting for a free server process (listen backlog).
+        self.backlog: deque = deque()
+        #: Worker processes in use (serving or draining a response).
+        self.busy_slots = 0
+        self.transfers = 0
+
+    # -- admission ------------------------------------------------------------
+
+    def admit(self, request: Request,
+              dispatch_latency: float = 0.0) -> Optional[SimProcess]:
+        """Accept a request on this node.
+
+        Starts execution immediately and returns the process, unless the
+        server-process pool is exhausted — then the request waits in the
+        listen backlog and ``None`` is returned (it starts when a worker
+        frees up).
+
+        ``dispatch_latency`` is the network time already spent getting the
+        request here (remote CGI hop); it is recorded so response times can
+        include it without simulating the wire.
+        """
+        if self.failed:
+            raise RuntimeError(f"node {self.node_id} is down")
+        self.admitted += 1
+        conn = self.cfg.connections
+        if conn.limited and self.busy_slots >= conn.max_processes:
+            self.backlog.append((request, dispatch_latency))
+            return None
+        return self._start(request, dispatch_latency)
+
+    def _start(self, request: Request,
+               dispatch_latency: float) -> SimProcess:
+        plan = self._build_plan(request)
+        proc = SimProcess(request, self.node_id, plan,
+                          admit_time=self.engine.now,
+                          dispatch_latency=dispatch_latency)
+        cold = self.memory.admit(proc)
+        if cold:
+            fault_io = cold * self.cfg.disk.page_time / self.disk_speed
+            # Cold-start faults hit before the script's own work: insert
+            # after the fork burst (index 0) for CGI, at the front otherwise.
+            insert_at = 1 if request.is_dynamic and plan[0][0] == CPU_BURST else 0
+            plan.insert(insert_at, (IO_BURST, fault_io))
+            proc.burst_remaining = plan[0][1]
+        self.active += 1
+        self.busy_slots += 1
+        self.procs.add(proc)
+        self._route(proc)
+        return proc
+
+    def _build_plan(self, request: Request) -> List[Tuple[int, float]]:
+        io_chunk = self.cfg.disk.slice_time * 2.0
+        io_demand = request.io_demand
+        if not request.is_dynamic and self.cfg.memory.enable_paging:
+            # Static requests are CPU-only unless the file cache misses, in
+            # which case the file must be read from disk.  Misses get more
+            # likely as CGI working sets squeeze the cache.
+            if self.rng.random() < self.memory.static_miss_probability():
+                pages = max(1, -(-request.size_bytes //
+                                 self.cfg.memory.page_size))
+                io_demand += pages * self.cfg.disk.page_time
+                self.static_misses += 1
+        # Heterogeneity: demands are stated for the reference node; a
+        # faster CPU/disk executes the same demand in proportionally less
+        # virtual time.
+        cpu_demand = request.cpu_demand / self.cpu_speed
+        io_demand /= self.disk_speed
+        plan = build_plan(cpu_demand, io_demand, io_chunk, self.rng)
+        if request.is_dynamic and self.cfg.cpu.fork_overhead > 0:
+            plan.insert(0, (CPU_BURST,
+                            self.cfg.cpu.fork_overhead / self.cpu_speed))
+        return plan
+
+    # -- burst plumbing ---------------------------------------------------------
+
+    def _route(self, proc: SimProcess) -> None:
+        kind = proc.current_kind
+        if kind is None:
+            self._complete(proc)
+        elif kind == CPU_BURST:
+            self.cpu.make_runnable(proc)
+        else:
+            self.disk.submit(proc)
+
+    def _advance(self, proc: SimProcess) -> None:
+        refault_pages = self.memory.collect_refaults(proc)
+        if refault_pages:
+            proc.splice_io(refault_pages * self.cfg.disk.page_time
+                           / self.disk_speed)
+        kind = proc.advance()
+        if kind is None:
+            self._complete(proc)
+        elif kind == CPU_BURST:
+            self.cpu.make_runnable(proc)
+        else:
+            self.disk.submit(proc)
+
+    def _on_cpu_burst_done(self, proc: SimProcess) -> None:
+        self._advance(proc)
+
+    def _on_io_burst_done(self, proc: SimProcess) -> None:
+        self._advance(proc)
+
+    def _complete(self, proc: SimProcess) -> None:
+        proc.state = ProcState.DONE
+        proc.finish_time = self.engine.now
+        self.memory.release(proc)
+        self.active -= 1
+        self.completed += 1
+        self.procs.discard(proc)
+        self.on_complete(self, proc)
+        # The worker stays pinned until the response drains to the client;
+        # server-site response time (above) excludes this, capacity doesn't.
+        transfer = self.cfg.connections.transfer_time(
+            proc.request.size_bytes)
+        if transfer > 0.0:
+            self.transfers += 1
+            self.engine.schedule(transfer, self._release_slot)
+        else:
+            self._release_slot()
+
+    def _release_slot(self) -> None:
+        self.busy_slots -= 1
+        if self.failed:
+            return
+        conn = self.cfg.connections
+        while self.backlog and (not conn.limited
+                                or self.busy_slots < conn.max_processes):
+            request, latency = self.backlog.popleft()
+            self._start(request, latency)
+
+    # -- failure / recovery -------------------------------------------------------
+
+    def fail(self) -> List[SimProcess]:
+        """Crash the node: abort all in-flight work and reject admissions.
+
+        Returns ``(aborted_processes, backlogged_requests)`` so the
+        cluster can restart that work elsewhere ("if a slave node fails, a
+        master node may need to restart a dynamic content process on
+        another node").
+        """
+        if self.failed:
+            return [], []
+        self.failed = True
+        self.failures += 1
+        self.cpu.abort_all()
+        self.disk.abort_all()
+        aborted = list(self.procs)
+        for proc in aborted:
+            self.memory.release(proc)
+            proc.slice_event = None
+        self.procs.clear()
+        queued = [request for request, _ in self.backlog]
+        self.backlog.clear()
+        self.active = 0
+        self.busy_slots = 0
+        return aborted, queued
+
+    def recover(self) -> None:
+        """Bring a crashed (or standby) node back into service, empty."""
+        self.failed = False
+
+    # -- load introspection (what rstat() would report) --------------------------
+
+    @property
+    def cpu_queue_length(self) -> int:
+        return self.cpu.runnable
+
+    @property
+    def disk_queue_length(self) -> int:
+        return self.disk.pending
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<Node {self.node_id} active={self.active} "
+                f"cpuq={self.cpu_queue_length} diskq={self.disk_queue_length}>")

@@ -1,0 +1,1 @@
+"""Noisy testbed emulator standing in for the paper's 6-node Sun cluster."""

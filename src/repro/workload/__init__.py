@@ -1,0 +1,1 @@
+"""Trace specifications, synthetic workload generation, and replay."""

@@ -1,0 +1,117 @@
+"""Arrival-time processes for synthetic traces.
+
+The paper replays logged traces with intervals *scaled* to a target rate.
+Our synthetic traces generate arrivals directly:
+
+* ``poisson`` — exponential inter-arrivals; matches the queuing analysis.
+* ``mmpp2`` — a two-state Markov-modulated Poisson process for bursty,
+  flash-crowd-like traffic (Web arrivals are famously not Poisson at short
+  time scales).
+* ``uniform`` — deterministic spacing; useful for tests.
+"""
+
+from __future__ import annotations
+
+from typing import Literal
+
+import numpy as np
+
+ArrivalKind = Literal["poisson", "mmpp2", "uniform"]
+
+
+def poisson_arrivals(rate: float, n: int,
+                     rng: np.random.Generator,
+                     start: float = 0.0) -> np.ndarray:
+    """``n`` Poisson arrival times at ``rate`` per second."""
+    if rate <= 0:
+        raise ValueError("rate must be positive")
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    gaps = rng.exponential(1.0 / rate, size=n)
+    return start + np.cumsum(gaps)
+
+
+def uniform_arrivals(rate: float, n: int,
+                     start: float = 0.0) -> np.ndarray:
+    """``n`` evenly spaced arrivals at ``rate`` per second."""
+    if rate <= 0:
+        raise ValueError("rate must be positive")
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    return start + (np.arange(1, n + 1) / rate)
+
+
+def mmpp2_arrivals(rate: float, n: int, rng: np.random.Generator,
+                   burst_factor: float = 3.0,
+                   mean_sojourn: float = 2.0,
+                   start: float = 0.0) -> np.ndarray:
+    """Two-state MMPP with overall mean ``rate``.
+
+    The process alternates between a *calm* and a *burst* state with
+    exponential sojourns of mean ``mean_sojourn`` seconds.  The burst state
+    arrival rate is ``burst_factor`` times the calm rate; state rates are
+    chosen so the long-run average equals ``rate``.
+    """
+    if rate <= 0:
+        raise ValueError("rate must be positive")
+    if burst_factor < 1.0:
+        raise ValueError("burst_factor must be >= 1")
+    if mean_sojourn <= 0:
+        raise ValueError("mean_sojourn must be positive")
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    # Equal sojourn means => average rate is the mean of the two rates.
+    calm = 2.0 * rate / (1.0 + burst_factor)
+    rates = (calm, calm * burst_factor)
+
+    times = np.empty(n)
+    t = start
+    state = 0
+    state_left = rng.exponential(mean_sojourn)
+    for i in range(n):
+        while True:
+            gap = rng.exponential(1.0 / rates[state])
+            if gap <= state_left:
+                state_left -= gap
+                t += gap
+                times[i] = t
+                break
+            # State flips before the next arrival: discard and re-draw in
+            # the new state (memorylessness makes this exact).
+            t += state_left
+            state = 1 - state
+            state_left = rng.exponential(mean_sojourn)
+    return times
+
+
+def make_arrivals(kind: ArrivalKind, rate: float, n: int,
+                  rng: np.random.Generator, start: float = 0.0) -> np.ndarray:
+    """Dispatch on the process name."""
+    if kind == "poisson":
+        return poisson_arrivals(rate, n, rng, start)
+    if kind == "mmpp2":
+        return mmpp2_arrivals(rate, n, rng, start=start)
+    if kind == "uniform":
+        return uniform_arrivals(rate, n, start)
+    raise ValueError(f"unknown arrival kind {kind!r}")
+
+
+def scale_intervals(arrivals: np.ndarray, target_rate: float) -> np.ndarray:
+    """Rescale a trace's arrival times to a target mean rate.
+
+    This is the paper's replay trick: "we scale intervals among requests so
+    that requests in each log are issued to the cluster at various fast
+    rates".  Relative burst structure is preserved.
+    """
+    arr = np.asarray(arrivals, dtype=float)
+    if arr.ndim != 1 or arr.size < 2:
+        raise ValueError("need at least two arrivals to scale")
+    if np.any(np.diff(arr) < 0):
+        raise ValueError("arrival times must be non-decreasing")
+    if target_rate <= 0:
+        raise ValueError("target_rate must be positive")
+    span = arr[-1] - arr[0]
+    if span <= 0:
+        raise ValueError("all arrivals coincide; cannot scale")
+    current_rate = (arr.size - 1) / span
+    return arr[0] + (arr - arr[0]) * (current_rate / target_rate)

@@ -1,0 +1,130 @@
+"""CGI demand profiles — the paper's synthetic replacements for logged CGI.
+
+"For the UCB trace, we use a CGI script from the WebSTONE benchmark ...
+these CGI requests are CPU intensive.  For the KSU library-searching
+requests, we ... replaced the CGI library requests with WebGlimpse commands
+... on average 90% of service time is spent searching index information in
+memory.  For the ADL trace, we replicated a small ADL catalog database ...
+This workload is I/O intensive with about 90% of the servicing time consumed
+by disk accesses."
+
+A profile fixes the *shape* of a dynamic request: its CPU weight ``w``, the
+per-request jitter of that weight, the variability of its total demand, and
+its memory footprint.  The total demand *scale* is set by the experiment's
+``r`` (ratio of CGI to static service rates), not by the profile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+
+@dataclass(frozen=True, slots=True)
+class CGIProfile:
+    """Statistical shape of one CGI request family."""
+
+    name: str
+    #: Mean fraction of service demand spent on the CPU.
+    w_cpu: float
+    #: Std-dev of the per-request CPU weight (truncated to [0.02, 0.98]).
+    w_jitter: float
+    #: Coefficient of variation of the total demand (lognormal).
+    demand_cv: float
+    #: Mean working-set size in 8 KB pages.
+    mem_pages_mean: float
+    #: Lognormal sigma of the working-set size.
+    mem_pages_sigma: float
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.w_cpu < 1.0:
+            raise ValueError("w_cpu must be in (0, 1)")
+        if self.w_jitter < 0 or self.demand_cv < 0:
+            raise ValueError("jitter/cv must be >= 0")
+        if self.mem_pages_mean <= 0 or self.mem_pages_sigma < 0:
+            raise ValueError("memory parameters must be positive")
+
+    # -- samplers -------------------------------------------------------------
+
+    def sample_w(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """Per-request CPU weights."""
+        w = rng.normal(self.w_cpu, self.w_jitter, size=n)
+        return np.clip(w, 0.02, 0.98)
+
+    def sample_demand(self, mean_demand: float, n: int,
+                      rng: np.random.Generator) -> np.ndarray:
+        """Per-request total demands with the profile's variability.
+
+        Lognormal with the requested mean and ``demand_cv``; degenerates to
+        the constant ``mean_demand`` when ``demand_cv == 0``.
+        """
+        if mean_demand <= 0:
+            raise ValueError("mean_demand must be positive")
+        if self.demand_cv == 0:
+            return np.full(n, mean_demand)
+        sigma2 = np.log1p(self.demand_cv ** 2)
+        mu = np.log(mean_demand) - sigma2 / 2.0
+        return rng.lognormal(mu, np.sqrt(sigma2), size=n)
+
+    def sample_mem_pages(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """Per-request working-set sizes in pages (at least 1)."""
+        if self.mem_pages_sigma == 0:
+            pages = np.full(n, self.mem_pages_mean)
+        else:
+            mu = np.log(self.mem_pages_mean) - self.mem_pages_sigma ** 2 / 2.0
+            pages = rng.lognormal(mu, self.mem_pages_sigma, size=n)
+        return np.maximum(1, pages.round().astype(np.int64))
+
+    @property
+    def type_key(self) -> str:
+        return f"cgi:{self.name}"
+
+
+#: WebSTONE-style busy-spin script: nearly pure CPU (UCB replay).
+WEBSTONE_SPIN = CGIProfile(
+    name="spin", w_cpu=0.92, w_jitter=0.04, demand_cv=0.8,
+    mem_pages_mean=192, mem_pages_sigma=0.5,
+    description="WebSTONE dynamic-file generator, CPU busy-spinning (UCB)",
+)
+
+#: WebGlimpse index search: ~90 % CPU, in-memory index, larger footprint.
+WEBGLIMPSE_SEARCH = CGIProfile(
+    name="search", w_cpu=0.90, w_jitter=0.05, demand_cv=1.0,
+    mem_pages_mean=384, mem_pages_sigma=0.6,
+    description="WebGlimpse library search over ~10000 items (KSU)",
+)
+
+#: ADL catalog lookup: ~90 % disk I/O.
+ADL_CATALOG = CGIProfile(
+    name="catalog", w_cpu=0.10, w_jitter=0.04, demand_cv=0.9,
+    mem_pages_mean=256, mem_pages_sigma=0.5,
+    description="Alexandria Digital Library catalog query, disk-bound (ADL)",
+)
+
+#: Balanced profile for experiments that want w == 0.5 exactly.
+BALANCED = CGIProfile(
+    name="balanced", w_cpu=0.50, w_jitter=0.05, demand_cv=0.8,
+    mem_pages_mean=224, mem_pages_sigma=0.5,
+    description="Synthetic half-CPU/half-I/O CGI",
+)
+
+PROFILES: Dict[str, CGIProfile] = {
+    p.name: p for p in (WEBSTONE_SPIN, WEBGLIMPSE_SEARCH, ADL_CATALOG, BALANCED)
+}
+
+
+def get_profile(name: str) -> CGIProfile:
+    """Look up a registered profile by name.
+
+    >>> get_profile("catalog").w_cpu
+    0.1
+    """
+    try:
+        return PROFILES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown CGI profile {name!r}; known: {sorted(PROFILES)}"
+        ) from None

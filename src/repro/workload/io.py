@@ -1,0 +1,86 @@
+"""Trace persistence: save and load request traces as JSON Lines.
+
+Synthetic traces are cheap to regenerate, but persisting them lets
+experiments be re-run bit-identically across machines, lets users edit
+workloads by hand, and gives real-trace owners an import format: one JSON
+object per line with the :class:`~repro.workload.request.Request` fields.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, List, Union
+
+from repro.workload.request import Request, RequestKind
+
+#: Fields serialised per request, in a stable order.
+_FIELDS = ("req_id", "arrival_time", "kind", "cpu_demand", "io_demand",
+           "mem_pages", "size_bytes", "type_key", "cache_key",
+           "client_id")
+
+#: Format marker written as the first line.
+_HEADER = {"format": "repro-trace", "version": 1}
+
+
+def request_to_dict(req: Request) -> dict:
+    """A JSON-safe mapping of one request."""
+    out = {name: getattr(req, name) for name in _FIELDS}
+    out["kind"] = int(req.kind)
+    return out
+
+
+def request_from_dict(data: dict) -> Request:
+    """Inverse of :func:`request_to_dict`; validates via ``Request``."""
+    unknown = set(data) - set(_FIELDS)
+    if unknown:
+        raise ValueError(f"unknown request fields: {sorted(unknown)}")
+    missing = {"req_id", "arrival_time", "kind", "cpu_demand",
+               "io_demand"} - set(data)
+    if missing:
+        raise ValueError(f"missing request fields: {sorted(missing)}")
+    kwargs = dict(data)
+    kwargs["kind"] = RequestKind(int(kwargs["kind"]))
+    return Request(**kwargs)
+
+
+def save_trace(requests: Iterable[Request],
+               path: Union[str, Path]) -> int:
+    """Write a trace as JSON Lines.  Returns the number of requests."""
+    path = Path(path)
+    n = 0
+    with path.open("w", encoding="utf-8") as fh:
+        fh.write(json.dumps(_HEADER) + "\n")
+        for req in requests:
+            fh.write(json.dumps(request_to_dict(req)) + "\n")
+            n += 1
+    return n
+
+
+def load_trace(path: Union[str, Path]) -> List[Request]:
+    """Read a JSON Lines trace written by :func:`save_trace`."""
+    path = Path(path)
+    requests: List[Request] = []
+    with path.open("r", encoding="utf-8") as fh:
+        header_line = fh.readline()
+        if not header_line:
+            raise ValueError(f"{path}: empty trace file")
+        header = json.loads(header_line)
+        if header.get("format") != _HEADER["format"]:
+            raise ValueError(f"{path}: not a repro trace file")
+        if header.get("version") != _HEADER["version"]:
+            raise ValueError(
+                f"{path}: unsupported trace version {header.get('version')}"
+            )
+        for lineno, line in enumerate(fh, start=2):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                requests.append(request_from_dict(json.loads(line)))
+            except (json.JSONDecodeError, TypeError, ValueError) as exc:
+                raise ValueError(f"{path}:{lineno}: bad request: {exc}") \
+                    from exc
+    if not requests:
+        raise ValueError(f"{path}: trace contains no requests")
+    return requests

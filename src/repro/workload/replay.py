@@ -1,0 +1,99 @@
+"""Trace replay: wire a generated trace, a policy, and a simulated cluster
+together, and return the metrics report.
+
+This is the experiment entry point used by the examples and the Figure-4/5
+benchmark harnesses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.core.policies import Policy
+from repro.core.sampling import DemandSampler
+from repro.sim.cluster import Cluster
+from repro.sim.config import SimConfig
+from repro.sim.metrics import MetricsReport
+from repro.workload.request import Request
+
+
+@dataclass(slots=True)
+class ReplayResult:
+    """A replay's report plus the objects needed for post-mortems."""
+
+    report: MetricsReport
+    cluster: Cluster
+
+    @property
+    def stretch(self) -> float:
+        return self.report.overall.stretch
+
+
+def replay(
+    cfg: SimConfig,
+    policy: Policy,
+    requests: Sequence[Request],
+    *,
+    warmup_fraction: float = 0.1,
+    drain: float = 30.0,
+    max_events: Optional[int] = None,
+) -> ReplayResult:
+    """Run one trace through one cluster configuration.
+
+    Parameters
+    ----------
+    cfg:
+        Cluster/OS constants (node count must match the policy).
+    policy:
+        Dispatch policy under test.
+    requests:
+        The trace; arrival times are absolute.
+    warmup_fraction:
+        Leading fraction of the trace span excluded from the metrics (queue
+        fill-up transient).
+    drain:
+        Virtual seconds allowed past the last arrival for queues to empty.
+    """
+    if not requests:
+        raise ValueError("empty trace")
+    if not 0.0 <= warmup_fraction < 1.0:
+        raise ValueError("warmup_fraction must be in [0, 1)")
+    cluster = Cluster(cfg, policy)
+    first = min(q.arrival_time for q in requests)
+    last = max(q.arrival_time for q in requests)
+    warmup = first + (last - first) * warmup_fraction
+    n = cluster.submit_many(requests)
+    deadline = last + drain
+    cluster.run(until=deadline, max_events=max_events)
+    extensions = 0
+    while any(node.active for node in cluster.nodes) and extensions < 20:
+        deadline += drain
+        cluster.run(until=deadline, max_events=max_events)
+        extensions += 1
+    report = cluster.metrics.report(warmup=warmup)
+    if report.completed == 0:
+        raise RuntimeError(
+            f"no requests completed out of {n}; cluster hopelessly overloaded?"
+        )
+    return ReplayResult(report=report, cluster=cluster)
+
+
+def pretrain_sampler(requests: Sequence[Request],
+                     sample_fraction: float = 0.02,
+                     noise: float = 0.05,
+                     seed: int = 0) -> DemandSampler:
+    """Offline demand sampling for the M/S scheduler.
+
+    Profiles a leading slice of the trace "on an unloaded system" with a
+    little measurement noise, as the paper's off-line sampling would.
+    """
+    import numpy as np
+
+    if not 0.0 < sample_fraction <= 1.0:
+        raise ValueError("sample_fraction must be in (0, 1]")
+    sampler = DemandSampler()
+    n = max(1, int(len(requests) * sample_fraction))
+    rng = np.random.default_rng(seed)
+    sampler.train_offline(requests[:n], noise=noise, rng=rng)
+    return sampler

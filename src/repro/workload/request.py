@@ -1,0 +1,99 @@
+"""Request model shared by the workload generators and the simulator.
+
+The paper distinguishes two request classes:
+
+* **static** — a file fetch; tiny service demand (the SPECweb96 mix on a
+  1200 req/s node averages ~0.83 ms).
+* **dynamic** — CGI execution; service demand ``1/r`` times larger, with a
+  class-dependent CPU/IO split (``w`` = CPU fraction).
+
+A :class:`Request` carries everything the cluster needs to *execute* the
+request (demands, memory footprint) plus everything the scheduler is allowed
+to *know* (class and a ``type_key`` identifying the CGI script family, which
+the offline demand sampler keys on).  Schedulers must not peek at the exact
+demands — the paper is explicit that per-request cost prediction is
+infeasible for general CGI.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+
+class RequestKind(enum.IntEnum):
+    """Request class."""
+
+    STATIC = 0
+    DYNAMIC = 1
+
+
+@dataclass(slots=True)
+class Request:
+    """One HTTP request to be replayed into a cluster.
+
+    Parameters
+    ----------
+    req_id:
+        Unique, dense identifier (index into the trace).
+    arrival_time:
+        Absolute virtual arrival time in seconds.
+    kind:
+        Static file fetch or dynamic (CGI) content generation.
+    cpu_demand / io_demand:
+        Service demand in seconds of CPU time and of disk time on an
+        otherwise idle node.  Their sum is the request's *service demand*
+        ``d`` used by the stretch-factor metric.
+    mem_pages:
+        Working-set size in pages; drives the demand-paging model.
+    size_bytes:
+        Response size (used by trace statistics, not by execution).
+    type_key:
+        Stable identifier of the request family ("static", "cgi:spin",
+        "cgi:search", ...) used by the offline demand sampler to look up the
+        CPU weight ``w``.
+    cache_key:
+        Identity of the produced content, for CGI result caching; ``None``
+        marks uncacheable requests.
+    """
+
+    req_id: int
+    arrival_time: float
+    kind: RequestKind
+    cpu_demand: float
+    io_demand: float
+    mem_pages: int = 0
+    size_bytes: int = 0
+    type_key: str = "static"
+    #: Identity of the generated content for dynamic-content caching
+    #: (None = uncacheable, e.g. personalised output).  See
+    #: :mod:`repro.core.caching`.
+    cache_key: Optional[str] = None
+    #: Issuing client (session) identity; -1 = anonymous.  Drives client
+    #: -affinity front ends (DNS caching) and session workloads.
+    client_id: int = -1
+
+    def __post_init__(self) -> None:
+        if self.arrival_time < 0:
+            raise ValueError(f"arrival_time must be >= 0, got {self.arrival_time}")
+        if self.cpu_demand < 0 or self.io_demand < 0:
+            raise ValueError("demands must be >= 0")
+        if self.cpu_demand == 0 and self.io_demand == 0:
+            raise ValueError("request must demand some service")
+        if self.mem_pages < 0:
+            raise ValueError("mem_pages must be >= 0")
+
+    @property
+    def demand(self) -> float:
+        """Total service demand ``d`` (seconds on an unloaded node)."""
+        return self.cpu_demand + self.io_demand
+
+    @property
+    def is_dynamic(self) -> bool:
+        return self.kind is RequestKind.DYNAMIC
+
+    @property
+    def cpu_fraction(self) -> float:
+        """True CPU weight of this request (ground truth for the sampler)."""
+        return self.cpu_demand / (self.cpu_demand + self.io_demand)

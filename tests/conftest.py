@@ -1,0 +1,51 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sim.config import SimConfig, paper_sim_config
+from repro.sim.engine import Engine
+from repro.workload.request import Request, RequestKind
+
+
+@pytest.fixture
+def engine() -> Engine:
+    return Engine()
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def small_config() -> SimConfig:
+    """A 4-node paper-parameter cluster config."""
+    return paper_sim_config(num_nodes=4, seed=7)
+
+
+def make_static(req_id: int = 0, arrival: float = 0.0,
+                cpu: float = 0.8e-3, size: int = 7168) -> Request:
+    return Request(req_id=req_id, arrival_time=arrival,
+                   kind=RequestKind.STATIC, cpu_demand=cpu, io_demand=0.0,
+                   mem_pages=2, size_bytes=size, type_key="static")
+
+
+def make_cgi(req_id: int = 0, arrival: float = 0.0, cpu: float = 0.030,
+             io: float = 0.004, mem_pages: int = 128,
+             type_key: str = "cgi:spin") -> Request:
+    return Request(req_id=req_id, arrival_time=arrival,
+                   kind=RequestKind.DYNAMIC, cpu_demand=cpu, io_demand=io,
+                   mem_pages=mem_pages, size_bytes=4591, type_key=type_key)
+
+
+@pytest.fixture
+def static_request() -> Request:
+    return make_static()
+
+
+@pytest.fixture
+def cgi_request() -> Request:
+    return make_cgi()

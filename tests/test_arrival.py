@@ -1,0 +1,109 @@
+"""Unit tests for arrival processes and interval scaling."""
+
+import numpy as np
+import pytest
+
+from repro.workload.arrival import (
+    make_arrivals,
+    mmpp2_arrivals,
+    poisson_arrivals,
+    scale_intervals,
+    uniform_arrivals,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(42)
+
+
+class TestPoisson:
+    def test_count_and_monotonicity(self, rng):
+        times = poisson_arrivals(100.0, 500, rng)
+        assert len(times) == 500
+        assert (np.diff(times) >= 0).all()
+
+    def test_mean_rate(self, rng):
+        times = poisson_arrivals(100.0, 20000, rng)
+        rate = (len(times) - 1) / (times[-1] - times[0])
+        assert rate == pytest.approx(100.0, rel=0.05)
+
+    def test_start_offset(self, rng):
+        times = poisson_arrivals(10.0, 10, rng, start=5.0)
+        assert times[0] >= 5.0
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            poisson_arrivals(0.0, 10, rng)
+        with pytest.raises(ValueError):
+            poisson_arrivals(1.0, 0, rng)
+
+
+class TestUniform:
+    def test_exact_spacing(self):
+        times = uniform_arrivals(10.0, 5)
+        assert np.allclose(np.diff(times), 0.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            uniform_arrivals(-1.0, 5)
+
+
+class TestMMPP:
+    def test_mean_rate_close_to_target(self, rng):
+        times = mmpp2_arrivals(200.0, 30000, rng)
+        rate = (len(times) - 1) / (times[-1] - times[0])
+        assert rate == pytest.approx(200.0, rel=0.15)
+
+    def test_burstier_than_poisson(self, rng):
+        """Squared CV of inter-arrival gaps exceeds 1 (Poisson = 1)."""
+        times = mmpp2_arrivals(200.0, 30000, rng, burst_factor=5.0)
+        gaps = np.diff(times)
+        cv2 = gaps.var() / gaps.mean() ** 2
+        assert cv2 > 1.2
+
+    def test_monotone(self, rng):
+        times = mmpp2_arrivals(50.0, 1000, rng)
+        assert (np.diff(times) >= 0).all()
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            mmpp2_arrivals(10.0, 10, rng, burst_factor=0.5)
+        with pytest.raises(ValueError):
+            mmpp2_arrivals(10.0, 10, rng, mean_sojourn=0)
+
+
+class TestDispatch:
+    def test_make_arrivals_kinds(self, rng):
+        for kind in ("poisson", "mmpp2", "uniform"):
+            times = make_arrivals(kind, 50.0, 100, rng)
+            assert len(times) == 100
+
+    def test_unknown_kind(self, rng):
+        with pytest.raises(ValueError):
+            make_arrivals("weird", 50.0, 100, rng)
+
+
+class TestScaling:
+    def test_scales_to_target_rate(self, rng):
+        times = poisson_arrivals(10.0, 1000, rng)
+        scaled = scale_intervals(times, 500.0)
+        rate = (len(scaled) - 1) / (scaled[-1] - scaled[0])
+        assert rate == pytest.approx(500.0, rel=1e-9)
+
+    def test_preserves_relative_structure(self, rng):
+        times = np.array([0.0, 1.0, 1.1, 5.0])
+        scaled = scale_intervals(times, 10.0)
+        gaps = np.diff(times)
+        sgaps = np.diff(scaled)
+        assert np.allclose(sgaps / sgaps[0], gaps / gaps[0])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            scale_intervals(np.array([1.0]), 5.0)
+        with pytest.raises(ValueError):
+            scale_intervals(np.array([2.0, 1.0]), 5.0)
+        with pytest.raises(ValueError):
+            scale_intervals(np.array([1.0, 1.0]), 5.0)
+        with pytest.raises(ValueError):
+            scale_intervals(np.array([1.0, 2.0]), -5.0)

@@ -1,0 +1,102 @@
+"""Unit tests for the CGI demand profiles."""
+
+import numpy as np
+import pytest
+
+from repro.workload.cgi_profiles import (
+    ADL_CATALOG,
+    BALANCED,
+    CGIProfile,
+    PROFILES,
+    WEBGLIMPSE_SEARCH,
+    WEBSTONE_SPIN,
+    get_profile,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(9)
+
+
+class TestPaperProfiles:
+    def test_spin_is_cpu_bound(self):
+        assert WEBSTONE_SPIN.w_cpu > 0.85
+
+    def test_search_is_ninety_percent_cpu(self):
+        assert WEBGLIMPSE_SEARCH.w_cpu == pytest.approx(0.90)
+
+    def test_catalog_is_io_bound(self):
+        assert ADL_CATALOG.w_cpu == pytest.approx(0.10)
+
+    def test_balanced_is_half(self):
+        assert BALANCED.w_cpu == pytest.approx(0.50)
+
+    def test_registry_lookup(self):
+        assert get_profile("spin") is WEBSTONE_SPIN
+        assert get_profile("catalog") is ADL_CATALOG
+        with pytest.raises(ValueError):
+            get_profile("nope")
+
+    def test_type_keys_unique(self):
+        keys = {p.type_key for p in PROFILES.values()}
+        assert len(keys) == len(PROFILES)
+
+
+class TestSamplers:
+    def test_w_samples_near_mean(self, rng):
+        ws = WEBGLIMPSE_SEARCH.sample_w(20000, rng)
+        assert ws.mean() == pytest.approx(0.90, abs=0.01)
+        assert (ws >= 0.02).all() and (ws <= 0.98).all()
+
+    def test_demand_mean_matches_request(self, rng):
+        demands = ADL_CATALOG.sample_demand(0.033, 50000, rng)
+        assert demands.mean() == pytest.approx(0.033, rel=0.05)
+        assert (demands > 0).all()
+
+    def test_demand_cv_respected(self, rng):
+        demands = WEBGLIMPSE_SEARCH.sample_demand(1.0, 100000, rng)
+        cv = demands.std() / demands.mean()
+        assert cv == pytest.approx(WEBGLIMPSE_SEARCH.demand_cv, rel=0.1)
+
+    def test_zero_cv_is_deterministic(self, rng):
+        profile = CGIProfile(name="det", w_cpu=0.5, w_jitter=0.0,
+                             demand_cv=0.0, mem_pages_mean=10,
+                             mem_pages_sigma=0.0)
+        demands = profile.sample_demand(0.5, 100, rng)
+        assert (demands == 0.5).all()
+        pages = profile.sample_mem_pages(100, rng)
+        assert (pages == 10).all()
+
+    def test_mem_pages_at_least_one(self, rng):
+        profile = CGIProfile(name="tiny", w_cpu=0.5, w_jitter=0.0,
+                             demand_cv=0.0, mem_pages_mean=1,
+                             mem_pages_sigma=1.0)
+        assert (profile.sample_mem_pages(1000, rng) >= 1).all()
+
+    def test_mem_pages_mean(self, rng):
+        pages = WEBSTONE_SPIN.sample_mem_pages(50000, rng)
+        assert pages.mean() == pytest.approx(WEBSTONE_SPIN.mem_pages_mean,
+                                             rel=0.1)
+
+    def test_bad_demand_mean_rejected(self, rng):
+        with pytest.raises(ValueError):
+            BALANCED.sample_demand(0.0, 10, rng)
+
+
+class TestValidation:
+    def test_w_bounds(self):
+        with pytest.raises(ValueError):
+            CGIProfile(name="x", w_cpu=0.0, w_jitter=0.0, demand_cv=0.0,
+                       mem_pages_mean=1, mem_pages_sigma=0.0)
+        with pytest.raises(ValueError):
+            CGIProfile(name="x", w_cpu=1.0, w_jitter=0.0, demand_cv=0.0,
+                       mem_pages_mean=1, mem_pages_sigma=0.0)
+
+    def test_negative_params(self):
+        with pytest.raises(ValueError):
+            CGIProfile(name="x", w_cpu=0.5, w_jitter=-0.1, demand_cv=0.0,
+                       mem_pages_mean=1, mem_pages_sigma=0.0)
+        with pytest.raises(ValueError):
+            CGIProfile(name="x", w_cpu=0.5, w_jitter=0.0, demand_cv=0.0,
+                       mem_pages_mean=0, mem_pages_sigma=0.0)

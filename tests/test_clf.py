@@ -1,0 +1,148 @@
+"""Tests for the Apache access-log (CLF) import adapter."""
+
+import pytest
+
+from repro.workload.clf import (
+    CLFImportOptions,
+    import_clf,
+    parse_clf_line,
+)
+from repro.workload.request import RequestKind
+
+
+def clf(ts: str, url: str, status: int = 200, size="2326",
+        method: str = "GET") -> str:
+    return (f'host - frank [{ts}] "{method} {url} HTTP/1.0" '
+            f'{status} {size}')
+
+
+T0 = "10/Oct/1999:13:55:36 -0700"
+T1 = "10/Oct/1999:13:55:37 -0700"
+T2 = "10/Oct/1999:13:55:40 -0700"
+
+
+class TestParseLine:
+    def test_basic(self):
+        rec = parse_clf_line(clf(T0, "/index.html"))
+        assert rec.url == "/index.html"
+        assert rec.status == 200
+        assert rec.size_bytes == 2326
+        assert rec.method == "GET"
+
+    def test_dash_size_is_zero(self):
+        rec = parse_clf_line(clf(T0, "/x", size="-"))
+        assert rec.size_bytes == 0
+
+    def test_combined_format_tail_ignored(self):
+        line = clf(T0, "/a") + ' "http://ref" "Mozilla/4.0"'
+        rec = parse_clf_line(line)
+        assert rec.url == "/a"
+
+    def test_garbage_returns_none(self):
+        assert parse_clf_line("not a log line") is None
+        assert parse_clf_line("") is None
+
+    def test_bad_date_returns_none(self):
+        assert parse_clf_line(clf("99/XXX/1999:25:00:00 -0700", "/a")) \
+            is None
+
+    def test_timestamps_ordered(self):
+        a = parse_clf_line(clf(T0, "/a"))
+        b = parse_clf_line(clf(T2, "/b"))
+        assert b.timestamp - a.timestamp == pytest.approx(4.0)
+
+
+class TestImport:
+    def test_basic_import(self):
+        lines = [clf(T0, "/index.html"),
+                 clf(T1, "/cgi-bin/search?q=x", size="9000"),
+                 clf(T2, "/pic.gif", size="512")]
+        result = import_clf(lines)
+        assert result.parsed == 3
+        assert len(result.requests) == 3
+        assert result.dynamic_count == 1
+        kinds = [q.kind for q in result.requests]
+        assert kinds == [RequestKind.STATIC, RequestKind.DYNAMIC,
+                         RequestKind.STATIC]
+
+    def test_arrivals_rebased_to_zero(self):
+        result = import_clf([clf(T0, "/a"), clf(T2, "/b")])
+        times = [q.arrival_time for q in result.requests]
+        assert times[0] == 0.0
+        assert times[1] == pytest.approx(4.0)
+
+    def test_out_of_order_lines_sorted(self):
+        result = import_clf([clf(T2, "/late"), clf(T0, "/early")])
+        assert result.requests[0].size_bytes == \
+            result.requests[1].size_bytes  # both 2326
+        assert result.requests[0].arrival_time == 0.0
+
+    def test_malformed_counted_not_fatal(self):
+        result = import_clf(["garbage", clf(T0, "/a"), ""])
+        assert result.parsed == 1
+        assert result.skipped_malformed == 1
+
+    def test_status_filter(self):
+        lines = [clf(T0, "/a", status=200), clf(T1, "/b", status=404),
+                 clf(T2, "/c", status=500)]
+        result = import_clf(lines)
+        assert result.parsed == 1
+        assert result.skipped_status == 2
+
+    def test_status_filter_disabled(self):
+        opts = CLFImportOptions(keep_statuses=None)
+        lines = [clf(T0, "/a", status=404)]
+        assert import_clf(lines, opts).parsed == 1
+
+    def test_dynamic_patterns(self):
+        lines = [clf(T0, "/app.php"), clf(T1, "/run.cgi"),
+                 clf(T2, "/page?x=1")]
+        result = import_clf(lines)
+        assert result.dynamic_count == 3
+
+    def test_dynamic_demand_scale(self):
+        opts = CLFImportOptions(mu_h=1200.0, r=1 / 40, seed=1)
+        lines = [clf(T0, f"/cgi-bin/x{i}") for i in range(300)]
+        # All at the same timestamp is fine for demand statistics.
+        result = import_clf(lines, opts)
+        import numpy as np
+
+        mean = np.mean([q.demand for q in result.requests])
+        assert mean == pytest.approx(1 / (1200 / 40), rel=0.2)
+
+    def test_cache_keys_optional(self):
+        opts = CLFImportOptions(assign_cache_keys=True)
+        result = import_clf([clf(T0, "/cgi-bin/s?q=1#frag")], opts)
+        assert result.requests[0].cache_key == "/cgi-bin/s?q=1"
+        result2 = import_clf([clf(T0, "/cgi-bin/s?q=1")])
+        assert result2.requests[0].cache_key is None
+
+    def test_import_from_file(self, tmp_path):
+        path = tmp_path / "access.log"
+        path.write_text("\n".join([clf(T0, "/a"),
+                                   clf(T1, "/cgi-bin/b")]) + "\n")
+        result = import_clf(path)
+        assert result.parsed == 2
+
+    def test_replayable_end_to_end(self):
+        """An imported log replays through the simulator."""
+        from repro.core.policies import FlatPolicy
+        from repro.sim.config import paper_sim_config
+        from repro.workload.replay import replay
+
+        lines = [clf(f"10/Oct/1999:13:55:{36 + i % 20:02d} -0700",
+                     "/a.html" if i % 3 else "/cgi-bin/q")
+                 for i in range(60)]
+        result = import_clf(lines)
+        report = replay(paper_sim_config(num_nodes=2, seed=1),
+                        FlatPolicy(2, seed=2), result.requests,
+                        warmup_fraction=0.0).report
+        assert report.completed == len(result.requests)
+
+    def test_options_validation(self):
+        with pytest.raises(ValueError):
+            CLFImportOptions(mu_h=0).validate()
+        with pytest.raises(ValueError):
+            CLFImportOptions(cgi_profile="nope").validate()
+        with pytest.raises(ValueError):
+            CLFImportOptions(keep_statuses=(700, 800)).validate()

@@ -1,0 +1,120 @@
+"""Unit tests for the round-robin disk scheduler."""
+
+import pytest
+
+from repro.sim.config import DiskConfig
+from repro.sim.disk import Disk
+from repro.sim.process import IO_BURST, SimProcess
+from tests.conftest import make_cgi
+
+
+def make_disk(engine, done, **overrides):
+    cfg = DiskConfig(**overrides)
+    cfg.validate()
+    return Disk(engine, cfg, done.append)
+
+
+def proc_with_io(duration, node=0):
+    req = make_cgi(cpu=0.001, io=duration)
+    return SimProcess(req, node, [(IO_BURST, duration)], admit_time=0.0)
+
+
+class TestSingleBurst:
+    def test_burst_completes_exactly(self, engine):
+        done = []
+        disk = make_disk(engine, done)
+        proc = proc_with_io(0.006)
+        disk.submit(proc)
+        engine.run()
+        assert done == [proc]
+        assert engine.now == pytest.approx(0.006)
+        assert proc.io_time_used == pytest.approx(0.006)
+
+    def test_burst_longer_than_slice_is_sliced(self, engine):
+        done = []
+        disk = make_disk(engine, done)  # slice = 8ms
+        proc = proc_with_io(0.020)
+        disk.submit(proc)
+        engine.run()
+        assert done == [proc]
+        assert disk.slices_served == 3  # 8 + 8 + 4 ms
+        assert proc.io_time_used == pytest.approx(0.020)
+
+    def test_zero_length_burst_completes_immediately(self, engine):
+        done = []
+        disk = make_disk(engine, done)
+        proc = proc_with_io(0.004)
+        proc.burst_remaining = 0.0
+        disk.submit(proc)
+        assert done == [proc]
+
+    def test_busy_time_accumulates(self, engine):
+        done = []
+        disk = make_disk(engine, done)
+        disk.submit(proc_with_io(0.010))
+        engine.run()
+        assert disk.busy_time == pytest.approx(0.010)
+
+
+class TestRoundRobin:
+    def test_two_processes_interleave(self, engine):
+        done = []
+        disk = make_disk(engine, done, page_time=0.002, pages_per_slice=1)
+        a = proc_with_io(0.004)  # 2 slices
+        b = proc_with_io(0.004)
+        disk.submit(a)
+        disk.submit(b)
+        engine.run()
+        # Round-robin: both finish around the same time, a first (FIFO tie).
+        assert done == [a, b]
+        assert engine.now == pytest.approx(0.008)
+
+    def test_short_burst_not_starved_by_long(self, engine):
+        done = []
+        disk = make_disk(engine, done, page_time=0.002, pages_per_slice=1)
+        long = proc_with_io(0.050)
+        short = proc_with_io(0.002)
+        disk.submit(long)
+        disk.submit(short)
+        engine.run()
+        assert done[0] is short
+        # Short waited one slice of the long process at most.
+        assert short.io_time_used == pytest.approx(0.002)
+
+    def test_work_conserving(self, engine):
+        done = []
+        disk = make_disk(engine, done)
+        procs = [proc_with_io(0.002 * (i + 1)) for i in range(5)]
+        for p in procs:
+            disk.submit(p)
+        engine.run()
+        total = sum(0.002 * (i + 1) for i in range(5))
+        assert engine.now == pytest.approx(total)
+        assert len(done) == 5
+
+    def test_pending_counts(self, engine):
+        done = []
+        disk = make_disk(engine, done)
+        disk.submit(proc_with_io(0.010))
+        disk.submit(proc_with_io(0.010))
+        assert disk.pending == 2
+
+    def test_resubmission_from_completion_callback(self, engine):
+        """A completion callback that immediately submits a follow-up burst
+        must not double-book the disk (regression: refault splicing)."""
+        cfg = DiskConfig()
+        events = []
+
+        def on_done(proc):
+            events.append(proc)
+            if len(events) == 1:
+                proc.burst_remaining = 0.004
+                disk.submit(proc)
+
+        disk = Disk(engine, cfg, on_done)
+        proc = proc_with_io(0.004)
+        disk.submit(proc)
+        engine.run()
+        assert len(events) == 2
+        assert engine.now == pytest.approx(0.008)
+        assert disk.current is None

@@ -1,0 +1,172 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.sim.engine import Engine, Event
+
+
+class TestScheduling:
+    def test_runs_in_time_order(self, engine):
+        hits = []
+        engine.schedule(2.0, hits.append, "late")
+        engine.schedule(1.0, hits.append, "early")
+        engine.schedule(3.0, hits.append, "last")
+        engine.run()
+        assert hits == ["early", "late", "last"]
+
+    def test_ties_broken_by_insertion_order(self, engine):
+        hits = []
+        for tag in "abc":
+            engine.schedule(1.0, hits.append, tag)
+        engine.run()
+        assert hits == ["a", "b", "c"]
+
+    def test_clock_advances_to_event_time(self, engine):
+        engine.schedule(1.5, lambda: None)
+        engine.run()
+        assert engine.now == pytest.approx(1.5)
+
+    def test_schedule_at_absolute_time(self, engine):
+        hits = []
+        engine.schedule_at(4.0, hits.append, "x")
+        engine.run()
+        assert hits == ["x"] and engine.now == pytest.approx(4.0)
+
+    def test_negative_delay_rejected(self, engine):
+        with pytest.raises(ValueError):
+            engine.schedule(-0.1, lambda: None)
+
+    def test_schedule_into_past_rejected(self, engine):
+        engine.schedule(1.0, lambda: None)
+        engine.run()
+        with pytest.raises(ValueError):
+            engine.schedule_at(0.5, lambda: None)
+
+    def test_nested_scheduling_from_callback(self, engine):
+        hits = []
+
+        def outer():
+            hits.append(("outer", engine.now))
+            engine.schedule(1.0, inner)
+
+        def inner():
+            hits.append(("inner", engine.now))
+
+        engine.schedule(1.0, outer)
+        engine.run()
+        assert hits == [("outer", 1.0), ("inner", 2.0)]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self, engine):
+        hits = []
+        ev = engine.schedule(1.0, hits.append, "no")
+        ev.cancel()
+        engine.run()
+        assert hits == []
+
+    def test_cancel_is_idempotent(self, engine):
+        ev = engine.schedule(1.0, lambda: None)
+        ev.cancel()
+        ev.cancel()
+        assert engine.run() == 0
+
+    def test_cancel_mid_run(self, engine):
+        hits = []
+        later = engine.schedule(2.0, hits.append, "later")
+        engine.schedule(1.0, later.cancel)
+        engine.run()
+        assert hits == []
+
+
+class TestRunControl:
+    def test_run_until_stops_before_later_events(self, engine):
+        hits = []
+        engine.schedule(1.0, hits.append, "in")
+        engine.schedule(5.0, hits.append, "out")
+        engine.run(until=2.0)
+        assert hits == ["in"]
+        assert engine.now == pytest.approx(2.0)
+
+    def test_run_until_then_continue(self, engine):
+        hits = []
+        engine.schedule(1.0, hits.append, 1)
+        engine.schedule(3.0, hits.append, 3)
+        engine.run(until=2.0)
+        engine.run()
+        assert hits == [1, 3]
+
+    def test_run_returns_event_count(self, engine):
+        for i in range(5):
+            engine.schedule(float(i + 1), lambda: None)
+        assert engine.run() == 5
+
+    def test_max_events_guard(self, engine):
+        def rearm():
+            engine.schedule(1.0, rearm)
+
+        engine.schedule(1.0, rearm)
+        with pytest.raises(RuntimeError, match="max_events"):
+            engine.run(max_events=10)
+
+    def test_not_reentrant(self, engine):
+        def recurse():
+            engine.run()
+
+        engine.schedule(1.0, recurse)
+        with pytest.raises(RuntimeError, match="reentrant"):
+            engine.run()
+
+    def test_step_processes_one_event(self, engine):
+        hits = []
+        engine.schedule(1.0, hits.append, 1)
+        engine.schedule(2.0, hits.append, 2)
+        assert engine.step() is True
+        assert hits == [1]
+        assert engine.step() is True
+        assert engine.step() is False
+        assert hits == [1, 2]
+
+
+class TestIntrospection:
+    def test_peek_skips_cancelled(self, engine):
+        ev = engine.schedule(1.0, lambda: None)
+        engine.schedule(2.0, lambda: None)
+        ev.cancel()
+        assert engine.peek() == pytest.approx(2.0)
+
+    def test_peek_empty(self, engine):
+        assert engine.peek() is None
+
+    def test_pending_counts_live_events(self, engine):
+        ev = engine.schedule(1.0, lambda: None)
+        engine.schedule(2.0, lambda: None)
+        assert engine.pending == 2
+        ev.cancel()
+        assert engine.pending == 1
+
+    def test_processed_accumulates(self, engine):
+        engine.schedule(1.0, lambda: None)
+        engine.run()
+        engine.schedule(1.0, lambda: None)
+        engine.run()
+        assert engine.processed == 2
+
+    def test_event_ordering_dunder(self):
+        a = Event(1.0, 0, lambda: None, ())
+        b = Event(1.0, 1, lambda: None, ())
+        c = Event(0.5, 2, lambda: None, ())
+        assert c < a < b
+
+
+class TestDeterminism:
+    def test_identical_runs_identical_traces(self):
+        def run_once():
+            eng = Engine()
+            log = []
+            for i in range(50):
+                eng.schedule(((i * 7919) % 101) / 10.0, log.append, i)
+            eng.run()
+            return log
+
+        assert run_once() == run_once()

@@ -1,0 +1,87 @@
+"""Tests for the plain-text chart renderers."""
+
+import pytest
+
+from repro.analysis.figures import bar_chart, grouped_bar_chart, line_plot
+
+
+class TestBarChart:
+    def test_renders_values(self):
+        txt = bar_chart([("alpha", 2.0), ("b", 1.0)], width=10)
+        lines = txt.splitlines()
+        assert lines[0].startswith("alpha")
+        assert "2.00" in lines[0]
+        assert "1.00" in lines[1]
+
+    def test_max_value_fills_width(self):
+        txt = bar_chart([("a", 4.0), ("b", 2.0)], width=8)
+        a_line, b_line = txt.splitlines()
+        assert a_line.count("█") == 8
+        assert b_line.count("█") == 4
+
+    def test_title_and_unit(self):
+        txt = bar_chart([("a", 1.0)], title="T", unit="%")
+        assert txt.splitlines()[0] == "T"
+        assert "1.00%" in txt
+
+    def test_zero_values_ok(self):
+        txt = bar_chart([("a", 0.0), ("b", 0.0)])
+        assert "0.00" in txt
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bar_chart([])
+        with pytest.raises(ValueError):
+            bar_chart([("a", -1.0)])
+        with pytest.raises(ValueError):
+            bar_chart([("a", 1.0)], width=0)
+
+
+class TestGroupedBarChart:
+    def test_groups_rendered(self):
+        txt = grouped_bar_chart([
+            ("UCB", [("MS", 10.0), ("flat", 20.0)]),
+            ("KSU", [("MS", 5.0), ("flat", 8.0)]),
+        ], unit="%")
+        assert "UCB:" in txt and "KSU:" in txt
+        assert txt.count("MS") == 2
+
+    def test_negative_values_flagged(self):
+        txt = grouped_bar_chart([("g", [("x", -3.0)])])
+        assert "(negative)" in txt
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            grouped_bar_chart([])
+
+
+class TestLinePlot:
+    def test_plots_points_within_frame(self):
+        txt = line_plot({"s": [(1, 1.0), (2, 2.0), (3, 3.0)]},
+                        width=20, height=6)
+        lines = txt.splitlines()
+        body = [ln for ln in lines if ln.startswith("|")]
+        assert len(body) == 6
+        assert sum(ln.count("o") for ln in body) >= 2
+
+    def test_legend_lists_series(self):
+        txt = line_plot({"a": [(0, 0), (1, 1)], "b": [(0, 1), (1, 0)]})
+        assert "o=a" in txt and "x=b" in txt
+
+    def test_axis_annotations(self):
+        txt = line_plot({"s": [(10, 2.0), (80, 5.0)]}, xlabel="1/r",
+                        ylabel="improvement")
+        assert "1/r: 10 .. 80" in txt
+        assert "top=5.0" in txt
+
+    def test_constant_series_ok(self):
+        txt = line_plot({"s": [(1, 2.0), (2, 2.0)]})
+        assert "o" in txt
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            line_plot({})
+        with pytest.raises(ValueError):
+            line_plot({"s": []})
+        with pytest.raises(ValueError):
+            line_plot({"s": [(0, 0)]}, width=2)

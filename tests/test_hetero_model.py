@@ -1,0 +1,126 @@
+"""Tests for the heterogeneous Theorem-1 extension."""
+
+import pytest
+
+from repro.core.hetero import (
+    HeteroDesign,
+    hetero_flat_stretch,
+    hetero_ms_stretch,
+    hetero_reservation_ratio,
+    optimal_masters_hetero,
+)
+from repro.core.queuing import Workload, flat_stretch, ms_stretch
+from repro.core.theorem import optimal_masters, reservation_ratio
+
+
+@pytest.fixture
+def w():
+    # Offered load ~5.3 node-equivalents on p=8: comfortably feasible.
+    return Workload.from_ratios(lam=500, a=3 / 7, mu_h=1200, r=1 / 40,
+                                p=8)
+
+
+class TestHomogeneousReduction:
+    """With unit speeds the heterogeneous forms must reproduce the
+    homogeneous ones exactly."""
+
+    def test_flat_reduces(self, w):
+        speeds = [1.0] * w.p
+        assert hetero_flat_stretch(w, speeds) == pytest.approx(
+            flat_stretch(w))
+
+    def test_ms_reduces(self, w):
+        speeds = [1.0] * w.p
+        hom = ms_stretch(w, m=3, theta=0.1)
+        het = hetero_ms_stretch(w, speeds, master_ids=(0, 1, 2), theta=0.1)
+        assert het.total == pytest.approx(hom.total)
+        assert het.master == pytest.approx(hom.master)
+        assert het.slave == pytest.approx(hom.slave)
+
+    def test_reservation_reduces(self, w):
+        assert hetero_reservation_ratio(w.a, w.r, 3.0, 8.0) == \
+            pytest.approx(reservation_ratio(w.a, w.r, 3, 8))
+
+    def test_optimal_close_to_homogeneous(self, w):
+        speeds = [1.0] * w.p
+        het = optimal_masters_hetero(w, speeds)
+        hom = optimal_masters(w)
+        # Same analysis family: designs must agree within a node.
+        assert abs(len(het.master_ids) - hom.m) <= 1
+        assert het.sm == pytest.approx(hom.sm, rel=0.15)
+
+
+class TestCapacityScaling:
+    def test_doubling_all_speeds_halves_utilisation_effects(self, w):
+        slow = hetero_flat_stretch(w, [1.0] * w.p)
+        fast = hetero_flat_stretch(w, [2.0] * w.p)
+        assert fast < slow
+
+    def test_master_capacity_governs_stability(self, w):
+        # One very slow master cannot absorb the static stream.
+        speeds = [0.05] + [2.0] * (w.p - 1)
+        res = hetero_ms_stretch(w, speeds, master_ids=(0,), theta=0.0)
+        assert not res.stable
+        # A fast master can.
+        speeds = [2.0] + [1.0] * (w.p - 1)
+        res = hetero_ms_stretch(w, speeds, master_ids=(0,), theta=0.0)
+        assert res.stable
+
+
+class TestDesignChoice:
+    def test_fastest_first_wins_under_count_weighted_stretch(self, w):
+        """The stretch metric favours the numerous small statics, which
+        finish fastest on fast machines — so the fast nodes become
+        masters (see the module docstring's count/capacity analysis)."""
+        speeds = [0.5, 0.5, 1.0, 1.0, 1.0, 1.0, 3.0, 3.0]
+        design = optimal_masters_hetero(w, speeds)
+        assert design.order == "fastest-first"
+        assert set(design.master_ids) <= {6, 7}
+
+    def test_explicit_order_respected(self, w):
+        speeds = [0.5, 0.5, 1.0, 1.0, 1.0, 1.0, 3.0, 3.0]
+        design = optimal_masters_hetero(w, speeds, order="fastest-first")
+        assert design.order == "fastest-first"
+
+    def test_beats_hetero_flat(self, w):
+        speeds = [0.5, 0.5, 1.0, 1.0, 1.0, 1.0, 3.0, 3.0]
+        design = optimal_masters_hetero(w, speeds)
+        assert design.sm < hetero_flat_stretch(w, speeds)
+
+    def test_theta_in_unit_interval(self, w):
+        speeds = [0.5, 1.0, 1.0, 1.0, 1.0, 1.0, 2.0, 4.0]
+        design = optimal_masters_hetero(w, speeds)
+        assert 0.0 <= design.theta <= 1.0
+
+
+class TestValidation:
+    def test_speed_length_mismatch(self, w):
+        with pytest.raises(ValueError):
+            hetero_flat_stretch(w, [1.0] * (w.p - 1))
+
+    def test_nonpositive_speed(self, w):
+        with pytest.raises(ValueError):
+            hetero_flat_stretch(w, [1.0] * (w.p - 1) + [0.0])
+
+    def test_bad_master_ids(self, w):
+        with pytest.raises(ValueError):
+            hetero_ms_stretch(w, [1.0] * w.p, master_ids=(), theta=0.0)
+        with pytest.raises(ValueError):
+            hetero_ms_stretch(w, [1.0] * w.p, master_ids=(99,), theta=0.0)
+
+    def test_all_masters_needs_theta_one(self, w):
+        with pytest.raises(ValueError):
+            hetero_ms_stretch(w, [1.0] * w.p,
+                              master_ids=tuple(range(w.p)), theta=0.5)
+
+    def test_infeasible_load(self):
+        w = Workload.from_ratios(lam=100000, a=1.0, mu_h=1200, r=1 / 40,
+                                 p=4)
+        with pytest.raises(ValueError):
+            optimal_masters_hetero(w, [1.0] * 4)
+
+    def test_bad_reservation_args(self):
+        with pytest.raises(ValueError):
+            hetero_reservation_ratio(0.5, 0.025, 0.0, 8.0)
+        with pytest.raises(ValueError):
+            hetero_reservation_ratio(0.5, 0.025, 9.0, 8.0)

@@ -1,0 +1,125 @@
+"""Integration tests: whole-pipeline behaviour across modules.
+
+These encode the paper's qualitative claims at small scale so the suite
+stays fast while still catching regressions that only appear end-to-end.
+"""
+
+import pytest
+
+from repro.analysis.experiments import iso_load_rate
+from repro.analysis.sweep import run_bakeoff
+from repro.core.policies import FlatPolicy, make_ms
+from repro.core.queuing import Workload, flat_stretch
+from repro.core.theorem import optimal_masters
+from repro.sim.config import paper_sim_config
+from repro.workload.generator import generate_trace
+from repro.workload.replay import pretrain_sampler, replay
+from repro.workload.traces import ADL, KSU, UCB
+
+
+pytestmark = pytest.mark.integration
+
+
+class TestConservation:
+    def test_every_request_completes_exactly_once(self):
+        cfg = paper_sim_config(num_nodes=8, seed=1)
+        trace = generate_trace(UCB, rate=400, duration=5.0, seed=2)
+        result = replay(cfg, make_ms(8, 3, seed=3), trace,
+                        warmup_fraction=0.0)
+        assert result.report.completed == len(trace)
+        assert sum(n.completed for n in result.cluster.nodes) == len(trace)
+        assert sum(n.admitted for n in result.cluster.nodes) == len(trace)
+        assert all(n.active == 0 for n in result.cluster.nodes)
+
+    def test_cpu_work_matches_demand(self):
+        """Total CPU busy time = demands + forks + switch overheads."""
+        cfg = paper_sim_config(num_nodes=2, seed=1)
+        cfg.memory.enable_paging = False
+        trace = generate_trace(UCB, rate=100, duration=4.0, seed=2)
+        result = replay(cfg, FlatPolicy(2, seed=3), trace,
+                        warmup_fraction=0.0)
+        cluster = result.cluster
+        cpu_demand = sum(q.cpu_demand for q in trace)
+        forks = sum(1 for q in trace if q.is_dynamic) \
+            * cfg.cpu.fork_overhead
+        switches = sum(n.cpu.switches for n in cluster.nodes) \
+            * cfg.cpu.context_switch_overhead
+        busy = sum(n.cpu.busy_time for n in cluster.nodes)
+        assert busy == pytest.approx(cpu_demand + forks + switches,
+                                     rel=1e-6)
+
+    def test_disk_work_matches_demand_without_paging(self):
+        cfg = paper_sim_config(num_nodes=2, seed=1)
+        cfg.memory.enable_paging = False  # no cache misses, no refaults
+        trace = generate_trace(ADL, rate=60, duration=4.0, seed=2)
+        result = replay(cfg, FlatPolicy(2, seed=3), trace,
+                        warmup_fraction=0.0)
+        io_demand = sum(q.io_demand for q in trace)
+        busy = sum(n.disk.busy_time for n in result.cluster.nodes)
+        assert busy == pytest.approx(io_demand, rel=1e-6)
+
+
+class TestPaperClaims:
+    def test_ms_beats_flat_on_cgi_heavy_workload(self):
+        """The headline direction: under a CGI-heavy load at meaningful
+        utilisation, optimized M/S beats uniform random dispatch."""
+        lam = iso_load_rate(ADL, 1200.0, 1 / 40, 8, 0.75)
+        res = run_bakeoff(ADL, lam=lam, r=1 / 40, p=8, duration=8.0,
+                          seed=5, policies=("MS", "Flat"))
+        assert res.improvement("Flat") > 10.0
+
+    def test_reservation_protects_statics_under_pressure(self):
+        """M/S-nr lets CGI swamp the masters; full M/S must keep static
+        stretch lower at high load."""
+        lam = iso_load_rate(UCB, 1200.0, 1 / 80, 8, 0.88)
+        res = run_bakeoff(UCB, lam=lam, r=1 / 80, p=8, duration=8.0,
+                          seed=5, policies=("MS", "MS-nr"))
+        ms = res.reports["MS"]
+        nr = res.reports["MS-nr"]
+        assert ms.overall.stretch < nr.overall.stretch
+
+    def test_masters_host_all_statics(self):
+        cfg = paper_sim_config(num_nodes=8, seed=1)
+        trace = generate_trace(KSU, rate=300, duration=4.0, seed=2)
+        result = replay(cfg, make_ms(8, 2, seed=3), trace)
+        metrics = result.cluster.metrics
+        for kind, node in zip(metrics.kinds, metrics.nodes):
+            if kind == 0:  # static
+                assert node < 2
+
+    def test_reservation_cap_respected_in_aggregate(self):
+        cfg = paper_sim_config(num_nodes=8, seed=1)
+        trace = generate_trace(ADL, rate=300, duration=6.0, seed=2)
+        policy = make_ms(8, 2, pretrain_sampler(trace), seed=3)
+        result = replay(cfg, policy, trace, warmup_fraction=0.0)
+        frac = result.report.master_dynamic_fraction
+        # The achieved fraction hovers at/below the cap; allow headroom for
+        # the EWMA gate's lag.
+        assert frac <= max(policy.theta_cap, 0.05) + 0.15
+
+    def test_analytic_sizing_transfers_to_simulation(self):
+        """Theorem-1's m should be within a factor of ~2 of the best
+        simulated m on a moderate workload."""
+        lam = 400.0
+        w = Workload.from_ratios(lam=lam, a=KSU.arrival_ratio_a,
+                                 mu_h=1200.0, r=1 / 40, p=8)
+        m_model = optimal_masters(w).m
+        stretches = {}
+        for m in range(1, 8):
+            res = run_bakeoff(KSU, lam=lam, r=1 / 40, p=8, duration=6.0,
+                              seed=7, policies=("MS",), m=m)
+            stretches[m] = res.stretch("MS")
+        m_sim = min(stretches, key=stretches.get)
+        assert abs(m_model - m_sim) <= 3
+        # And the model's choice must not be catastrophic in simulation.
+        assert stretches[m_model] <= 1.8 * stretches[m_sim]
+
+
+class TestCrossSeedStability:
+    def test_improvement_sign_stable_across_seeds(self):
+        """MS vs Flat at high utilisation should win for every seed."""
+        lam = iso_load_rate(ADL, 1200.0, 1 / 40, 8, 0.8)
+        for seed in (1, 2, 3):
+            res = run_bakeoff(ADL, lam=lam, r=1 / 40, p=8, duration=6.0,
+                              seed=seed, policies=("MS", "Flat"))
+            assert res.improvement("Flat") > 0.0

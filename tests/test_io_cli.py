@@ -1,0 +1,142 @@
+"""Tests for trace persistence and the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.analysis.cli import build_parser, main
+from repro.workload.generator import generate_trace
+from repro.workload.io import (
+    load_trace,
+    request_from_dict,
+    request_to_dict,
+    save_trace,
+)
+from repro.workload.request import RequestKind
+from repro.workload.traces import KSU, UCB
+from tests.conftest import make_cgi, make_static
+
+
+class TestTraceIO:
+    def test_roundtrip(self, tmp_path):
+        trace = generate_trace(UCB, rate=100, n=200, seed=1,
+                               cacheable_fraction=0.5)
+        path = tmp_path / "trace.jsonl"
+        assert save_trace(trace, path) == 200
+        loaded = load_trace(path)
+        assert len(loaded) == 200
+        for a, b in zip(trace, loaded):
+            assert a.req_id == b.req_id
+            assert a.arrival_time == b.arrival_time
+            assert a.kind == b.kind
+            assert a.cpu_demand == b.cpu_demand
+            assert a.io_demand == b.io_demand
+            assert a.cache_key == b.cache_key
+
+    def test_dict_roundtrip(self):
+        req = make_cgi(req_id=5, cpu=0.03, io=0.01, mem_pages=77)
+        again = request_from_dict(request_to_dict(req))
+        assert again == req
+
+    def test_kind_serialised_as_int(self):
+        data = request_to_dict(make_static())
+        assert data["kind"] == int(RequestKind.STATIC)
+        json.dumps(data)  # must be JSON-safe
+
+    def test_rejects_unknown_fields(self):
+        data = request_to_dict(make_static())
+        data["surprise"] = 1
+        with pytest.raises(ValueError, match="unknown"):
+            request_from_dict(data)
+
+    def test_rejects_missing_fields(self):
+        with pytest.raises(ValueError, match="missing"):
+            request_from_dict({"req_id": 1})
+
+    def test_rejects_non_trace_file(self, tmp_path):
+        path = tmp_path / "bogus.jsonl"
+        path.write_text('{"hello": "world"}\n')
+        with pytest.raises(ValueError, match="not a repro trace"):
+            load_trace(path)
+
+    def test_rejects_empty_file(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(ValueError, match="empty"):
+            load_trace(path)
+
+    def test_rejects_corrupt_line(self, tmp_path):
+        trace = generate_trace(UCB, rate=100, n=5, seed=1)
+        path = tmp_path / "trace.jsonl"
+        save_trace(trace, path)
+        with path.open("a") as fh:
+            fh.write("not json\n")
+        with pytest.raises(ValueError, match="bad request"):
+            load_trace(path)
+
+    def test_skips_blank_lines(self, tmp_path):
+        trace = generate_trace(UCB, rate=100, n=5, seed=1)
+        path = tmp_path / "trace.jsonl"
+        save_trace(trace, path)
+        with path.open("a") as fh:
+            fh.write("\n\n")
+        assert len(load_trace(path)) == 5
+
+
+class TestCLI:
+    def test_design_command(self, capsys):
+        assert main(["design", "--lam", "1000", "--a", "0.43",
+                     "--p", "32"]) == 0
+        out = capsys.readouterr().out
+        assert "masters m*" in out
+        assert "improvement" in out
+
+    def test_design_infeasible(self, capsys):
+        assert main(["design", "--lam", "1000000", "--a", "1.0",
+                     "--p", "4"]) == 1
+
+    def test_trace_command_writes_file(self, tmp_path, capsys):
+        out_path = tmp_path / "t.jsonl"
+        assert main(["trace", "--trace", "KSU", "--rate", "100",
+                     "--duration", "2", "--out", str(out_path)]) == 0
+        assert out_path.exists()
+        assert len(load_trace(out_path)) == 200
+
+    def test_replay_command(self, capsys):
+        assert main(["replay", "--trace", "UCB", "--rate", "200",
+                     "--nodes", "4", "--duration", "3",
+                     "--policy", "Flat"]) == 0
+        out = capsys.readouterr().out
+        assert "stretch" in out
+
+    def test_replay_from_file(self, tmp_path, capsys):
+        path = tmp_path / "t.jsonl"
+        save_trace(generate_trace(KSU, rate=150, duration=3.0, seed=1),
+                   path)
+        assert main(["replay", "--trace", "KSU", "--nodes", "4",
+                     "--policy", "MS", "--masters", "2",
+                     "--from-file", str(path)]) == 0
+
+    def test_fig3_command(self, capsys):
+        assert main(["fig3"]) == 0
+        assert "Figure 3" in capsys.readouterr().out
+
+    def test_table1_command(self, capsys):
+        assert main(["table1", "--n", "2000"]) == 0
+        assert "Table 1" in capsys.readouterr().out
+
+    def test_table2_command(self, capsys):
+        assert main(["table2"]) == 0
+        assert "Table 2" in capsys.readouterr().out
+
+    def test_calibrate_command(self, capsys):
+        assert main(["calibrate", "--duration", "3"]) == 0
+        assert "M/M/1" in capsys.readouterr().out
+
+    def test_parser_rejects_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])

@@ -1,0 +1,102 @@
+"""Unit tests for metrics collection and reporting."""
+
+import math
+
+import pytest
+
+from repro.sim.metrics import MetricsCollector
+from repro.sim.process import CPU_BURST, SimProcess
+from tests.conftest import make_cgi, make_static
+
+
+def finished_proc(req, finish, node=0):
+    proc = SimProcess(req, node, [(CPU_BURST, req.demand)],
+                      admit_time=req.arrival_time)
+    proc.finish_time = finish
+    return proc
+
+
+class TestCollector:
+    def test_record_and_report(self):
+        mc = MetricsCollector()
+        req = make_static(req_id=0, arrival=0.0, cpu=0.001)
+        mc.record(finished_proc(req, 0.002), remote=False, on_master=True)
+        report = mc.report()
+        assert report.completed == 1
+        assert report.overall.stretch == pytest.approx(2.0)
+        assert report.static.count == 1
+        assert report.dynamic.count == 0
+
+    def test_per_class_split(self):
+        mc = MetricsCollector()
+        s = make_static(req_id=0, arrival=0.0, cpu=0.001)
+        d = make_cgi(req_id=1, arrival=0.0, cpu=0.01, io=0.01)
+        mc.record(finished_proc(s, 0.002), remote=False, on_master=True)
+        mc.record(finished_proc(d, 0.06), remote=True, on_master=False)
+        rep = mc.report()
+        assert rep.static.stretch == pytest.approx(2.0)
+        assert rep.dynamic.stretch == pytest.approx(3.0)
+        assert rep.overall.stretch == pytest.approx(2.5)
+        assert rep.remote_dispatches == 1
+
+    def test_warmup_filters_early_arrivals(self):
+        mc = MetricsCollector()
+        early = make_static(req_id=0, arrival=0.0, cpu=0.001)
+        late = make_static(req_id=1, arrival=10.0, cpu=0.001)
+        mc.record(finished_proc(early, 0.1), remote=False, on_master=True)
+        mc.record(finished_proc(late, 10.001), remote=False, on_master=True)
+        rep = mc.report(warmup=5.0)
+        assert rep.completed == 1
+        assert rep.overall.stretch == pytest.approx(1.0)
+
+    def test_cutoff_filters_late_arrivals(self):
+        mc = MetricsCollector()
+        a = make_static(req_id=0, arrival=0.0, cpu=0.001)
+        b = make_static(req_id=1, arrival=10.0, cpu=0.001)
+        mc.record(finished_proc(a, 0.001), remote=False, on_master=True)
+        mc.record(finished_proc(b, 10.1), remote=False, on_master=True)
+        rep = mc.report(cutoff=5.0)
+        assert rep.completed == 1
+
+    def test_master_dynamic_fraction(self):
+        mc = MetricsCollector()
+        for i, on_master in enumerate([True, False, False, False]):
+            d = make_cgi(req_id=i, arrival=0.0)
+            mc.record(finished_proc(d, 0.1), remote=not on_master,
+                      on_master=on_master)
+        rep = mc.report()
+        assert rep.master_dynamic_fraction == pytest.approx(0.25)
+        assert rep.dynamic_total == 4
+
+    def test_empty_class_stats_are_nan(self):
+        mc = MetricsCollector()
+        s = make_static(req_id=0, arrival=0.0, cpu=0.001)
+        mc.record(finished_proc(s, 0.002), remote=False, on_master=True)
+        rep = mc.report()
+        assert math.isnan(rep.dynamic.stretch)
+
+    def test_throughput(self):
+        mc = MetricsCollector()
+        for i in range(10):
+            s = make_static(req_id=i, arrival=float(i), cpu=0.001)
+            mc.record(finished_proc(s, i + 0.001), remote=False,
+                      on_master=True)
+        rep = mc.report()
+        assert rep.throughput == pytest.approx(10 / rep.duration)
+
+    def test_percentiles_ordered(self):
+        mc = MetricsCollector()
+        for i in range(100):
+            s = make_static(req_id=i, arrival=0.0, cpu=0.001)
+            mc.record(finished_proc(s, 0.001 * (1 + i)), remote=False,
+                      on_master=True)
+        rep = mc.report()
+        assert rep.overall.median_response <= rep.overall.p95_response
+        assert rep.overall.mean_response > 0
+
+    def test_len(self):
+        mc = MetricsCollector()
+        assert len(mc) == 0
+        s = make_static(req_id=0, arrival=0.0, cpu=0.001)
+        mc.record(finished_proc(s, 0.01), remote=False, on_master=True)
+        assert len(mc) == 1

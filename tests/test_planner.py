@@ -1,0 +1,123 @@
+"""Tests for the capacity-planning helpers."""
+
+import pytest
+
+from repro.analysis.planner import (
+    ClusterPlan,
+    headroom,
+    max_sustainable_rate,
+    ms_design_stretch,
+    size_cluster,
+)
+from repro.core.queuing import Workload
+from repro.core.theorem import optimal_masters
+
+
+class TestSizeCluster:
+    def test_meets_target(self):
+        plan = size_cluster(2.0, lam=1000, a=0.4, r=1 / 40)
+        assert plan.predicted_stretch <= 2.0
+        assert plan.margin >= 0.0
+
+    def test_minimality(self):
+        plan = size_cluster(2.0, lam=1000, a=0.4, r=1 / 40)
+        smaller = ms_design_stretch(1000, 0.4, 1200.0, 1 / 40, plan.p - 1)
+        assert smaller is None or smaller > 2.0
+
+    def test_tighter_target_needs_more_nodes(self):
+        loose = size_cluster(3.0, lam=1000, a=0.4, r=1 / 40)
+        tight = size_cluster(1.3, lam=1000, a=0.4, r=1 / 40)
+        assert tight.p > loose.p
+
+    def test_costlier_cgi_needs_more_nodes(self):
+        cheap = size_cluster(2.0, lam=1000, a=0.4, r=1 / 20)
+        costly = size_cluster(2.0, lam=1000, a=0.4, r=1 / 160)
+        assert costly.p > cheap.p
+
+    def test_design_consistent_with_theorem(self):
+        plan = size_cluster(2.0, lam=800, a=0.3, r=1 / 40)
+        w = Workload.from_ratios(lam=800, a=0.3, mu_h=1200.0, r=1 / 40,
+                                 p=plan.p)
+        assert optimal_masters(w).m == plan.m
+
+    def test_unreachable_target_raises(self):
+        with pytest.raises(ValueError, match="no cluster"):
+            size_cluster(1.01, lam=100000, a=1.0, r=1 / 160, max_nodes=8)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            size_cluster(0.5, lam=100, a=0.3)
+        with pytest.raises(ValueError):
+            size_cluster(2.0, lam=100, a=0.3, max_nodes=0)
+
+
+class TestMaxSustainableRate:
+    def test_rate_meets_target(self):
+        rate = max_sustainable_rate(16, target_stretch=2.0, a=0.4,
+                                    r=1 / 40)
+        s = ms_design_stretch(rate, 0.4, 1200.0, 1 / 40, 16)
+        assert s is not None and s <= 2.0 + 1e-6
+
+    def test_slightly_higher_rate_misses_target(self):
+        rate = max_sustainable_rate(16, target_stretch=2.0, a=0.4,
+                                    r=1 / 40)
+        s = ms_design_stretch(rate * 1.05, 0.4, 1200.0, 1 / 40, 16)
+        assert s is None or s > 2.0
+
+    def test_monotone_in_cluster_size(self):
+        small = max_sustainable_rate(8, target_stretch=2.0, a=0.4,
+                                     r=1 / 40)
+        large = max_sustainable_rate(32, target_stretch=2.0, a=0.4,
+                                     r=1 / 40)
+        assert large > 2 * small
+
+    def test_monotone_in_target(self):
+        strict = max_sustainable_rate(16, target_stretch=1.3, a=0.4,
+                                      r=1 / 40)
+        loose = max_sustainable_rate(16, target_stretch=4.0, a=0.4,
+                                     r=1 / 40)
+        assert loose > strict
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            max_sustainable_rate(0, target_stretch=2.0, a=0.4)
+        with pytest.raises(ValueError):
+            max_sustainable_rate(8, target_stretch=0.9, a=0.4)
+
+
+class TestHeadroom:
+    def test_consistency_with_max_rate(self):
+        limit = max_sustainable_rate(16, target_stretch=2.0, a=0.4,
+                                     r=1 / 40)
+        assert headroom(limit / 2, p=16, target_stretch=2.0, a=0.4,
+                        r=1 / 40) == pytest.approx(2.0, rel=0.01)
+
+    def test_at_limit_is_one(self):
+        limit = max_sustainable_rate(16, target_stretch=2.0, a=0.4,
+                                     r=1 / 40)
+        assert headroom(limit, p=16, target_stretch=2.0, a=0.4,
+                        r=1 / 40) == pytest.approx(1.0, rel=0.01)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            headroom(0.0, p=16, target_stretch=2.0, a=0.4)
+
+
+class TestRoundTripWithSimulation:
+    def test_plan_is_roughly_honest_in_simulation(self):
+        """A plan with comfortable margin should hold up in the simulator
+        (the model is an optimistic envelope, so allow 2x)."""
+        from repro.core.policies import make_ms
+        from repro.sim.config import paper_sim_config
+        from repro.workload.generator import generate_trace
+        from repro.workload.replay import pretrain_sampler, replay
+        from repro.workload.traces import KSU
+
+        plan = size_cluster(1.5, lam=600, a=KSU.arrival_ratio_a,
+                            r=1 / 40)
+        trace = generate_trace(KSU, rate=600, duration=6.0, r=1 / 40,
+                               seed=1)
+        policy = make_ms(plan.p, plan.m, pretrain_sampler(trace), seed=2)
+        report = replay(paper_sim_config(plan.p, seed=3), policy,
+                        trace).report
+        assert report.overall.stretch <= 2.0 * plan.target_stretch

@@ -1,0 +1,102 @@
+"""Tests for the cluster state probe."""
+
+import numpy as np
+import pytest
+
+from repro.core.policies import FlatPolicy, make_ms
+from repro.sim.cluster import Cluster
+from repro.sim.config import paper_sim_config
+from repro.sim.probe import ClusterProbe
+from repro.workload.generator import generate_trace
+from repro.workload.traces import UCB
+from tests.conftest import make_cgi
+
+
+def build(policy=None, p=4):
+    cfg = paper_sim_config(num_nodes=p, seed=1)
+    return Cluster(cfg, policy or FlatPolicy(p, seed=2))
+
+
+class TestProbe:
+    def test_samples_on_schedule(self):
+        cluster = build()
+        probe = ClusterProbe(cluster, period=0.5, until=3.0).start()
+        cluster.run(until=5.0)
+        assert len(probe.times) == 6  # 0.5 .. 3.0
+        assert probe.time[0] == pytest.approx(0.5)
+        assert probe.time[-1] == pytest.approx(3.0)
+
+    def test_series_shape(self):
+        cluster = build(p=3)
+        probe = ClusterProbe(cluster, period=1.0, until=2.0).start()
+        cluster.run(until=3.0)
+        assert probe.series("cpu_queue").shape == (2, 3)
+        assert probe.series("memory_pressure").shape == (2, 3)
+
+    def test_observes_load(self):
+        cluster = build()
+        for i in range(30):
+            cluster.submit(make_cgi(req_id=i, arrival=0.0, cpu=0.5,
+                                    io=0.0, mem_pages=0))
+        probe = ClusterProbe(cluster, period=0.2, until=2.0).start()
+        cluster.run(until=3.0)
+        assert probe.peak("active") > 0
+        assert probe.series("cpu_queue").max() > 0
+
+    def test_theta_cap_tracked_for_ms(self):
+        trace = generate_trace(UCB, rate=300, duration=4.0, seed=3)
+        cluster = build(policy=make_ms(4, 2, seed=2))
+        cluster.submit_many(trace)
+        probe = ClusterProbe(cluster, period=0.5, until=4.0).start()
+        cluster.run(until=6.0)
+        caps = probe.theta_cap
+        assert np.isfinite(caps).all()
+        assert (caps >= 0).all() and (caps <= 1).all()
+
+    def test_theta_cap_nan_for_flat(self):
+        cluster = build()
+        probe = ClusterProbe(cluster, period=0.5, until=1.0).start()
+        cluster.run(until=2.0)
+        assert np.isnan(probe.theta_cap).all()
+
+    def test_throughput_series(self):
+        trace = generate_trace(UCB, rate=200, duration=4.0, seed=3)
+        cluster = build()
+        cluster.submit_many(trace)
+        probe = ClusterProbe(cluster, period=1.0, until=4.0).start()
+        cluster.run(until=6.0)
+        thr = probe.throughput()
+        assert thr.shape == (3,)
+        assert thr.mean() == pytest.approx(200, rel=0.3)
+
+    def test_completed_monotone(self):
+        trace = generate_trace(UCB, rate=200, duration=3.0, seed=3)
+        cluster = build()
+        cluster.submit_many(trace)
+        probe = ClusterProbe(cluster, period=0.5, until=3.0).start()
+        cluster.run(until=5.0)
+        done = probe.completed
+        assert (np.diff(done) >= 0).all()
+
+    def test_node_mean(self):
+        cluster = build(p=2)
+        probe = ClusterProbe(cluster, period=0.5, until=1.0).start()
+        cluster.run(until=2.0)
+        assert probe.node_mean("active").shape == (2,)
+
+    def test_unknown_metric(self):
+        cluster = build()
+        probe = ClusterProbe(cluster, period=0.5, until=1.0).start()
+        with pytest.raises(KeyError):
+            probe.series("flux_capacitor")
+
+    def test_double_start_rejected(self):
+        cluster = build()
+        probe = ClusterProbe(cluster, period=0.5, until=1.0).start()
+        with pytest.raises(RuntimeError):
+            probe.start()
+
+    def test_bad_period(self):
+        cluster = build()
+        with pytest.raises(ValueError):
+            ClusterProbe(cluster, period=0.0)

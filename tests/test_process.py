@@ -1,0 +1,132 @@
+"""Unit tests for burst-plan construction and process state."""
+
+import numpy as np
+import pytest
+
+from repro.sim.process import (
+    CPU_BURST,
+    IO_BURST,
+    MIN_CPU_SLIVER,
+    ProcState,
+    SimProcess,
+    build_plan,
+)
+from tests.conftest import make_cgi, make_static
+
+
+def cpu_total(plan):
+    return sum(d for k, d in plan if k == CPU_BURST)
+
+
+def io_total(plan):
+    return sum(d for k, d in plan if k == IO_BURST)
+
+
+class TestBuildPlan:
+    def test_pure_cpu_single_burst(self):
+        plan = build_plan(0.03, 0.0, 0.016)
+        assert plan == [(CPU_BURST, 0.03)]
+
+    def test_totals_conserved(self):
+        plan = build_plan(0.030, 0.020, 0.016)
+        assert cpu_total(plan) == pytest.approx(0.030)
+        assert io_total(plan) == pytest.approx(0.020)
+
+    def test_starts_and_ends_with_cpu(self):
+        plan = build_plan(0.010, 0.050, 0.016)
+        assert plan[0][0] == CPU_BURST
+        assert plan[-1][0] == CPU_BURST
+
+    def test_alternates(self):
+        plan = build_plan(0.010, 0.050, 0.016)
+        for (k1, _), (k2, _) in zip(plan, plan[1:]):
+            assert k1 != k2
+
+    def test_io_chunking(self):
+        plan = build_plan(0.010, 0.064, 0.016)
+        io_bursts = [d for k, d in plan if k == IO_BURST]
+        assert len(io_bursts) == 4
+
+    def test_pure_io_gets_cpu_sliver(self):
+        plan = build_plan(0.0, 0.020, 0.016)
+        assert cpu_total(plan) == pytest.approx(MIN_CPU_SLIVER)
+        assert io_total(plan) == pytest.approx(0.020)
+
+    def test_jitter_preserves_totals(self):
+        rng = np.random.default_rng(3)
+        plan = build_plan(0.030, 0.064, 0.016, rng)
+        assert cpu_total(plan) == pytest.approx(0.030)
+        assert io_total(plan) == pytest.approx(0.064)
+
+    def test_all_durations_positive(self):
+        rng = np.random.default_rng(5)
+        for _ in range(20):
+            plan = build_plan(0.010, 0.033, 0.008, rng)
+            assert all(d > 0 for _, d in plan)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            build_plan(-1.0, 0.0, 0.016)
+        with pytest.raises(ValueError):
+            build_plan(0.01, 0.01, 0.0)
+
+
+class TestSimProcess:
+    def _proc(self, plan):
+        return SimProcess(make_cgi(), node_id=0, plan=plan, admit_time=0.0)
+
+    def test_initial_cursor(self):
+        proc = self._proc([(CPU_BURST, 0.01), (IO_BURST, 0.02)])
+        assert proc.current_kind == CPU_BURST
+        assert proc.burst_remaining == pytest.approx(0.01)
+        assert proc.state is ProcState.NEW
+        assert not proc.finished
+
+    def test_advance_walks_plan(self):
+        proc = self._proc([(CPU_BURST, 0.01), (IO_BURST, 0.02),
+                           (CPU_BURST, 0.03)])
+        assert proc.advance() == IO_BURST
+        assert proc.burst_remaining == pytest.approx(0.02)
+        assert proc.advance() == CPU_BURST
+        assert proc.advance() is None
+        assert proc.finished
+
+    def test_splice_io_inserts_after_cursor(self):
+        proc = self._proc([(CPU_BURST, 0.01), (CPU_BURST, 0.03)])
+        proc.splice_io(0.005)
+        assert proc.plan[1] == (IO_BURST, 0.005)
+        assert proc.advance() == IO_BURST
+
+    def test_splice_zero_is_noop(self):
+        proc = self._proc([(CPU_BURST, 0.01)])
+        proc.splice_io(0.0)
+        assert len(proc.plan) == 1
+
+    def test_static_request_helpers(self):
+        req = make_static(cpu=0.8e-3)
+        assert req.demand == pytest.approx(0.8e-3)
+        assert not req.is_dynamic
+        assert req.cpu_fraction == pytest.approx(1.0)
+
+    def test_dynamic_request_helpers(self):
+        req = make_cgi(cpu=0.03, io=0.01)
+        assert req.is_dynamic
+        assert req.cpu_fraction == pytest.approx(0.75)
+
+
+class TestRequestValidation:
+    def test_zero_demand_rejected(self):
+        with pytest.raises(ValueError):
+            make_cgi(cpu=0.0, io=0.0)
+
+    def test_negative_demand_rejected(self):
+        with pytest.raises(ValueError):
+            make_cgi(cpu=-0.1)
+
+    def test_negative_arrival_rejected(self):
+        with pytest.raises(ValueError):
+            make_static(arrival=-1.0)
+
+    def test_negative_mem_rejected(self):
+        with pytest.raises(ValueError):
+            make_cgi(mem_pages=-1)

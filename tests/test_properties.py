@@ -1,0 +1,208 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.queuing import (
+    Workload,
+    flat_stretch,
+    flat_utilization,
+    ms_stretch,
+    ms_utilizations,
+    msprime_stretch,
+)
+from repro.core.rsrc import rsrc_cost, select_min_rsrc
+from repro.core.stretch import combine_stretch, stretch_factor
+from repro.core.theorem import (
+    reservation_ratio,
+    theta2_closed_form,
+    theta_bounds,
+)
+from repro.sim.engine import Engine
+from repro.sim.process import CPU_BURST, IO_BURST, build_plan
+from repro.workload.arrival import poisson_arrivals, scale_intervals
+
+# -- strategies -------------------------------------------------------------
+
+feasible_workloads = st.builds(
+    Workload.from_ratios,
+    lam=st.floats(min_value=10.0, max_value=5000.0),
+    a=st.floats(min_value=0.05, max_value=3.0),
+    mu_h=st.just(1200.0),
+    r=st.floats(min_value=1 / 200, max_value=0.5),
+    p=st.integers(min_value=2, max_value=128),
+).filter(lambda w: w.total_offered < 0.95 * w.p)
+
+
+# -- queuing model properties -------------------------------------------------
+
+
+class TestQueuingProperties:
+    @given(w=feasible_workloads)
+    @settings(max_examples=200, deadline=None)
+    def test_flat_stretch_at_least_one(self, w):
+        assert flat_stretch(w) >= 1.0
+
+    @given(w=feasible_workloads, frac=st.floats(0.05, 0.95),
+           theta=st.floats(0.0, 1.0))
+    @settings(max_examples=200, deadline=None)
+    def test_ms_stretch_classes_at_least_one(self, w, frac, theta):
+        m = max(1, min(w.p - 1, int(round(frac * w.p))))
+        ms = ms_stretch(w, m, theta)
+        assert ms.master >= 1.0
+        assert ms.slave >= 1.0
+        if ms.stable:
+            assert ms.total >= 1.0
+
+    @given(w=feasible_workloads, frac=st.floats(0.05, 0.95))
+    @settings(max_examples=200, deadline=None)
+    def test_theta2_equalizes_utilizations(self, w, frac):
+        """At the closed-form upper root, both tiers match flat load."""
+        m = max(1, min(w.p - 1, int(round(frac * w.p))))
+        theta2 = theta2_closed_form(w, m)
+        assume(0.0 <= theta2 <= 1.0)
+        u_m, u_s = ms_utilizations(w, m, theta2)
+        u_f = flat_utilization(w)
+        assert u_m == pytest.approx(u_f, rel=1e-9)
+        assert u_s == pytest.approx(u_f, rel=1e-9)
+
+    @given(w=feasible_workloads, frac=st.floats(0.05, 0.95))
+    @settings(max_examples=150, deadline=None)
+    def test_numeric_bounds_match_closed_form(self, w, frac):
+        m = max(1, min(w.p - 1, int(round(frac * w.p))))
+        try:
+            t1, t2 = theta_bounds(w, m)
+        except ArithmeticError:
+            assume(False)
+        assert t1 <= t2 + 1e-9
+        assert t2 == pytest.approx(theta2_closed_form(w, m), rel=1e-6,
+                                   abs=1e-9)
+
+    @given(w=feasible_workloads, k_frac=st.floats(0.05, 1.0))
+    @settings(max_examples=200, deadline=None)
+    def test_msprime_never_beats_flat(self, w, k_frac):
+        """Convexity: spreading static over all nodes while concentrating
+        dynamic work cannot beat uniform spreading."""
+        k = max(1, min(w.p, int(round(k_frac * w.p))))
+        msp = msprime_stretch(w, k)
+        if msp.stable:
+            assert msp.total >= flat_stretch(w) - 1e-9
+
+    @given(a=st.floats(0.01, 5.0), r=st.floats(0.001, 1.0),
+           p=st.integers(2, 256), m_frac=st.floats(0.0, 1.0))
+    @settings(max_examples=300, deadline=None)
+    def test_reservation_ratio_bounded(self, a, r, p, m_frac):
+        m = max(1, min(p, int(round(m_frac * p))))
+        cap = reservation_ratio(a, r, m, p)
+        assert 0.0 <= cap <= 1.0
+
+
+# -- stretch metric properties -----------------------------------------------
+
+
+class TestStretchProperties:
+    @given(st.lists(st.tuples(st.floats(1e-6, 100.0),
+                              st.floats(0.0, 100.0)),
+                    min_size=1, max_size=50))
+    @settings(max_examples=200, deadline=None)
+    def test_stretch_at_least_one(self, pairs):
+        demands = [d for d, _ in pairs]
+        responses = [d + wait for d, wait in pairs]
+        assert stretch_factor(responses, demands) >= 1.0 - 1e-12
+
+    @given(st.lists(st.floats(1.0, 50.0), min_size=1, max_size=20),
+           st.lists(st.floats(0.01, 10.0), min_size=1, max_size=20))
+    @settings(max_examples=200, deadline=None)
+    def test_combine_within_range(self, stretches, weights):
+        n = min(len(stretches), len(weights))
+        s, w = stretches[:n], weights[:n]
+        combined = combine_stretch(s, w)
+        assert min(s) - 1e-9 <= combined <= max(s) + 1e-9
+
+
+# -- burst plan properties -----------------------------------------------------
+
+
+class TestPlanProperties:
+    @given(cpu=st.floats(0.0, 1.0), io=st.floats(0.0, 1.0),
+           chunk=st.floats(0.001, 0.1), seed=st.integers(0, 2**32 - 1))
+    @settings(max_examples=300, deadline=None)
+    def test_plan_conserves_demand(self, cpu, io, chunk, seed):
+        rng = np.random.default_rng(seed)
+        plan = build_plan(cpu, io, chunk, rng)
+        got_cpu = sum(d for k, d in plan if k == CPU_BURST)
+        got_io = sum(d for k, d in plan if k == IO_BURST)
+        assert got_io == pytest.approx(io, abs=1e-12)
+        assert got_cpu == pytest.approx(max(cpu, 20e-6), rel=1e-9)
+        assert all(d >= 0 for _, d in plan)
+
+    @given(cpu=st.floats(0.001, 1.0), io=st.floats(0.001, 1.0),
+           chunk=st.floats(0.001, 0.1))
+    @settings(max_examples=200, deadline=None)
+    def test_plan_alternates_and_caps_with_cpu(self, cpu, io, chunk):
+        plan = build_plan(cpu, io, chunk)
+        assert plan[0][0] == CPU_BURST
+        assert plan[-1][0] == CPU_BURST
+        for (k1, _), (k2, _) in zip(plan, plan[1:]):
+            assert k1 != k2
+
+
+# -- RSRC properties -------------------------------------------------------------
+
+
+class TestRSRCProperties:
+    @given(w=st.floats(0.0, 1.0),
+           cpu=st.lists(st.floats(0.0, 1.0), min_size=1, max_size=16),
+           disk=st.lists(st.floats(0.0, 1.0), min_size=1, max_size=16))
+    @settings(max_examples=300, deadline=None)
+    def test_selection_is_argmin(self, w, cpu, disk):
+        n = min(len(cpu), len(disk))
+        cpu_arr = np.array(cpu[:n])
+        disk_arr = np.array(disk[:n])
+        pick = select_min_rsrc(w, cpu_arr, disk_arr, list(range(n)))
+        costs = np.atleast_1d(rsrc_cost(w, cpu_arr, disk_arr))
+        assert costs[pick] == pytest.approx(costs.min())
+
+    @given(w=st.floats(0.0, 1.0), cpu=st.floats(0.0, 1.0),
+           disk=st.floats(0.0, 1.0))
+    @settings(max_examples=300, deadline=None)
+    def test_cost_positive_and_finite(self, w, cpu, disk):
+        c = rsrc_cost(w, cpu, disk)
+        assert c > 0 and math.isfinite(c)
+
+    @given(w=st.floats(0.0, 1.0), disk=st.floats(0.01, 1.0),
+           idle_hi=st.floats(0.51, 1.0), idle_lo=st.floats(0.01, 0.5))
+    @settings(max_examples=200, deadline=None)
+    def test_cost_monotone_in_idleness(self, w, disk, idle_hi, idle_lo):
+        assert rsrc_cost(w, idle_hi, disk) <= rsrc_cost(w, idle_lo, disk)
+
+
+# -- engine properties -------------------------------------------------------------
+
+
+class TestEngineProperties:
+    @given(st.lists(st.floats(0.0, 100.0), min_size=1, max_size=100))
+    @settings(max_examples=200, deadline=None)
+    def test_events_fire_in_time_order(self, delays):
+        eng = Engine()
+        fired = []
+        for d in delays:
+            eng.schedule(d, lambda t=d: fired.append(eng.now))
+        eng.run()
+        assert fired == sorted(fired)
+        assert len(fired) == len(delays)
+
+    @given(st.lists(st.floats(0.0, 10.0), min_size=2, max_size=50),
+           st.floats(1.0, 1000.0))
+    @settings(max_examples=200, deadline=None)
+    def test_scale_intervals_property(self, gaps, target):
+        arrivals = np.cumsum(np.abs(gaps))
+        assume(arrivals[-1] - arrivals[0] > 1e-9)
+        scaled = scale_intervals(arrivals, target)
+        rate = (len(scaled) - 1) / (scaled[-1] - scaled[0])
+        assert rate == pytest.approx(target, rel=1e-6)
+        assert (np.diff(scaled) >= -1e-12).all()

@@ -1,0 +1,198 @@
+"""Unit tests for the Section-3 queuing formulas."""
+
+import math
+
+import pytest
+
+from repro.core.queuing import (
+    UNSTABLE,
+    MSStretch,
+    Workload,
+    best_msprime,
+    flat_stretch,
+    flat_utilization,
+    ms_stretch,
+    ms_utilizations,
+    msprime_stretch,
+)
+
+
+@pytest.fixture
+def w():
+    """A comfortable, feasible workload (a=0.25, r=1/40, p=32)."""
+    return Workload.from_ratios(lam=1000, a=0.25, mu_h=1200, r=1 / 40, p=32)
+
+
+class TestWorkload:
+    def test_ratio_construction_roundtrips(self, w):
+        assert w.lam == pytest.approx(1000)
+        assert w.a == pytest.approx(0.25)
+        assert w.r == pytest.approx(1 / 40)
+
+    def test_rate_construction(self):
+        w2 = Workload.from_rates(lam_h=800, lam_c=200, mu_h=1200, mu_c=30,
+                                 p=32)
+        assert w2.a == pytest.approx(0.25)
+        assert w2.r == pytest.approx(30 / 1200)
+
+    def test_offered_load(self, w):
+        expected = w.lam_h / w.mu_h + w.lam_c / w.mu_c
+        assert w.total_offered == pytest.approx(expected)
+        assert w.feasible
+
+    def test_infeasible_detection(self):
+        w2 = Workload.from_ratios(lam=10000, a=1.0, mu_h=1200, r=1 / 100,
+                                  p=8)
+        assert not w2.feasible
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Workload(lam_h=0, lam_c=1, mu_h=1, mu_c=1, p=1)
+        with pytest.raises(ValueError):
+            Workload(lam_h=1, lam_c=1, mu_h=0, mu_c=1, p=1)
+        with pytest.raises(ValueError):
+            Workload.from_ratios(lam=-5, a=0.5, mu_h=1, r=0.1, p=1)
+
+
+class TestFlat:
+    def test_flat_is_mm1_stretch(self, w):
+        u = flat_utilization(w)
+        assert flat_stretch(w) == pytest.approx(1.0 / (1.0 - u))
+
+    def test_flat_unstable_is_inf(self):
+        w2 = Workload.from_ratios(lam=50000, a=1.0, mu_h=1200, r=1 / 40,
+                                  p=4)
+        assert flat_stretch(w2) == UNSTABLE
+
+    def test_flat_monotone_in_load(self):
+        stretches = [
+            flat_stretch(Workload.from_ratios(lam=lam, a=0.25, mu_h=1200,
+                                              r=1 / 40, p=32))
+            for lam in (200, 500, 1000, 2000)
+        ]
+        assert stretches == sorted(stretches)
+
+
+class TestMS:
+    def test_utilizations(self, w):
+        u_m, u_s = ms_utilizations(w, m=8, theta=0.1)
+        assert u_m == pytest.approx(
+            (w.lam_h / w.mu_h + 0.1 * w.lam_c / w.mu_c) / 8)
+        assert u_s == pytest.approx((0.9 * w.lam_c / w.mu_c) / 24)
+
+    def test_theta_zero_pure_separation(self, w):
+        ms = ms_stretch(w, m=8, theta=0.0)
+        assert ms.master == pytest.approx(
+            1.0 / (1.0 - w.lam_h / w.mu_h / 8))
+        assert ms.stable
+
+    def test_total_is_weighted_combination(self, w):
+        ms = ms_stretch(w, m=8, theta=0.2)
+        a = w.a
+        expected = ((1 + a * 0.2) * ms.master
+                    + a * 0.8 * ms.slave) / (1 + a)
+        assert ms.total == pytest.approx(expected)
+
+    def test_all_masters_requires_theta_one(self, w):
+        with pytest.raises(ValueError):
+            ms_stretch(w, m=w.p, theta=0.5)
+        ms = ms_stretch(w, m=w.p, theta=1.0)
+        assert ms.total == pytest.approx(flat_stretch(w))
+
+    def test_overloaded_master_unstable(self, w):
+        # One master cannot absorb all dynamic traffic at theta=1.
+        ms = ms_stretch(w, m=1, theta=1.0)
+        assert not ms.stable
+
+    def test_invalid_arguments(self, w):
+        with pytest.raises(ValueError):
+            ms_stretch(w, m=0, theta=0.0)
+        with pytest.raises(ValueError):
+            ms_stretch(w, m=2, theta=1.5)
+
+    def test_equal_utilization_theta_matches_flat(self, w):
+        """At theta_2 = m/p + (r/a)(m/p - 1) both tiers sit at the flat
+        utilisation, so SM == SF exactly (the Theorem-1 upper root)."""
+        m = 8
+        frac = m / w.p
+        theta2 = frac + (w.r / w.a) * (frac - 1.0)
+        u_m, u_s = ms_utilizations(w, m, theta2)
+        u_flat = flat_utilization(w)
+        assert u_m == pytest.approx(u_flat)
+        assert u_s == pytest.approx(u_flat)
+        assert ms_stretch(w, m, theta2).total == pytest.approx(
+            flat_stretch(w))
+
+
+class TestMSPrime:
+    def test_k_equals_p_is_flat(self, w):
+        msp = msprime_stretch(w, k=w.p)
+        assert msp.total == pytest.approx(flat_stretch(w))
+
+    def test_never_beats_flat(self, w):
+        """Self-consistent PS accounting: concentrating dynamic work while
+        spreading static over all nodes is at best flat (convexity)."""
+        sf = flat_stretch(w)
+        for k in range(1, w.p + 1):
+            msp = msprime_stretch(w, k)
+            if msp.stable:
+                assert msp.total >= sf - 1e-9
+
+    def test_best_k_degenerates_to_flat(self, w):
+        best = best_msprime(w)
+        assert best.k == w.p
+        assert best.total == pytest.approx(flat_stretch(w))
+
+    def test_dynamic_node_hotter_than_static_node(self, w):
+        msp = msprime_stretch(w, k=4)
+        assert msp.dynamic_node > msp.static_node
+
+    def test_invalid_k(self, w):
+        with pytest.raises(ValueError):
+            msprime_stretch(w, k=0)
+        with pytest.raises(ValueError):
+            msprime_stretch(w, k=w.p + 1)
+
+
+class TestResponseTimes:
+    def test_flat_mean_response_scales_with_demand(self, w):
+        from repro.core.queuing import flat_mean_response
+
+        t_h, t_c = flat_mean_response(w)
+        assert t_c / t_h == pytest.approx(w.mu_h / w.mu_c)
+        assert t_h >= 1.0 / w.mu_h
+
+    def test_ms_mean_response_mixes_theta(self, w):
+        from repro.core.queuing import ms_mean_response
+
+        t_h0, t_c0 = ms_mean_response(w, m=8, theta=0.0)
+        ms = ms_stretch(w, m=8, theta=0.0)
+        assert t_h0 == pytest.approx(ms.master / w.mu_h)
+        assert t_c0 == pytest.approx(ms.slave / w.mu_c)
+
+    def test_littles_law_consistency(self, w):
+        from repro.core.queuing import (
+            flat_mean_in_system,
+            flat_mean_response,
+            mean_in_system,
+        )
+
+        t_h, t_c = flat_mean_response(w)
+        total = flat_mean_in_system(w)
+        assert total == pytest.approx(w.lam_h * t_h + w.lam_c * t_c)
+        assert mean_in_system(w, 0.01) == pytest.approx(w.lam * 0.01)
+
+    def test_mean_in_system_validation(self, w):
+        from repro.core.queuing import mean_in_system
+
+        with pytest.raises(ValueError):
+            mean_in_system(w, -1.0)
+
+    def test_population_grows_with_load(self):
+        from repro.core.queuing import flat_mean_in_system
+
+        light = Workload.from_ratios(lam=200, a=0.25, mu_h=1200,
+                                     r=1 / 40, p=32)
+        heavy = Workload.from_ratios(lam=2000, a=0.25, mu_h=1200,
+                                     r=1 / 40, p=32)
+        assert flat_mean_in_system(heavy) > 10 * flat_mean_in_system(light)

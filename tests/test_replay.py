@@ -1,0 +1,74 @@
+"""Unit tests for the replay harness."""
+
+import pytest
+
+from repro.core.policies import FlatPolicy, make_ms
+from repro.sim.config import paper_sim_config
+from repro.workload.generator import generate_trace
+from repro.workload.replay import pretrain_sampler, replay
+from repro.workload.traces import KSU, UCB
+
+
+@pytest.fixture(scope="module")
+def small_trace():
+    return generate_trace(UCB, rate=200, duration=4.0, mu_h=1200,
+                          r=1 / 40, seed=3)
+
+
+class TestReplay:
+    def test_basic_replay(self, small_trace):
+        cfg = paper_sim_config(num_nodes=4, seed=1)
+        result = replay(cfg, FlatPolicy(4, seed=2), small_trace)
+        assert result.report.completed > 0
+        assert result.stretch >= 1.0
+
+    def test_warmup_excludes_prefix(self, small_trace):
+        cfg = paper_sim_config(num_nodes=4, seed=1)
+        full = replay(cfg.copy(), FlatPolicy(4, seed=2), small_trace,
+                      warmup_fraction=0.0)
+        trimmed = replay(cfg.copy(), FlatPolicy(4, seed=2), small_trace,
+                         warmup_fraction=0.5)
+        assert trimmed.report.completed < full.report.completed
+
+    def test_empty_trace_rejected(self):
+        cfg = paper_sim_config(num_nodes=4)
+        with pytest.raises(ValueError):
+            replay(cfg, FlatPolicy(4), [])
+
+    def test_bad_warmup_rejected(self, small_trace):
+        cfg = paper_sim_config(num_nodes=4)
+        with pytest.raises(ValueError):
+            replay(cfg, FlatPolicy(4), small_trace, warmup_fraction=1.0)
+
+    def test_all_complete_under_light_load(self, small_trace):
+        cfg = paper_sim_config(num_nodes=4, seed=1)
+        result = replay(cfg, FlatPolicy(4, seed=2), small_trace,
+                        warmup_fraction=0.0)
+        assert result.report.completed == len(small_trace)
+
+    def test_ms_policy_replay_records_remote(self, small_trace):
+        cfg = paper_sim_config(num_nodes=4, seed=1)
+        result = replay(cfg, make_ms(4, 2, seed=2), small_trace)
+        assert result.report.remote_dispatches > 0
+
+
+class TestPretrainSampler:
+    def test_learns_trace_families(self, small_trace):
+        sampler = pretrain_sampler(small_trace)
+        assert sampler.w("cgi:spin") > 0.8
+        assert sampler.w("static") == pytest.approx(1.0)
+
+    def test_sample_fraction_limits_training(self, small_trace):
+        sampler = pretrain_sampler(small_trace, sample_fraction=0.01)
+        total = sum(sampler.sample_count(k) for k in sampler.families)
+        assert total <= max(1, int(0.01 * len(small_trace)))
+
+    def test_bad_fraction_rejected(self, small_trace):
+        with pytest.raises(ValueError):
+            pretrain_sampler(small_trace, sample_fraction=0.0)
+
+    def test_mixed_families_learned(self):
+        trace = generate_trace(KSU, rate=200, duration=4.0, seed=5)
+        sampler = pretrain_sampler(trace, sample_fraction=0.5)
+        assert sampler.w("cgi:search") > 0.7
+        assert sampler.w("cgi:catalog") < 0.3

@@ -1,0 +1,124 @@
+"""Unit tests for the adaptive reservation controller."""
+
+import pytest
+
+from repro.core.reservation import ReservationConfig, ReservationController
+from repro.core.theorem import reservation_ratio
+from repro.workload.request import RequestKind
+
+
+def feed(ctrl, now, n_static, n_dynamic):
+    for _ in range(n_static):
+        ctrl.observe_arrival(RequestKind.STATIC, now)
+    for _ in range(n_dynamic):
+        ctrl.observe_arrival(RequestKind.DYNAMIC, now)
+
+
+class TestGate:
+    def test_initial_cap_admits(self):
+        ctrl = ReservationController(4, 32,
+                                     ReservationConfig(theta_init=0.3))
+        assert ctrl.admit_to_master()
+
+    def test_zero_cap_blocks(self):
+        ctrl = ReservationController(4, 32,
+                                     ReservationConfig(theta_init=0.0))
+        assert not ctrl.admit_to_master()
+
+    def test_fraction_tracking_closes_gate(self):
+        cfg = ReservationConfig(theta_init=0.2, smoothing=0.5)
+        ctrl = ReservationController(4, 32, cfg)
+        for _ in range(20):
+            ctrl.record_decision(True)
+        assert ctrl.master_fraction > 0.9
+        assert not ctrl.admit_to_master()
+
+    def test_gate_reopens_as_fraction_decays(self):
+        cfg = ReservationConfig(theta_init=0.2, smoothing=0.5)
+        ctrl = ReservationController(4, 32, cfg)
+        for _ in range(10):
+            ctrl.record_decision(True)
+        for _ in range(10):
+            ctrl.record_decision(False)
+        assert ctrl.admit_to_master()
+
+
+class TestEstimation:
+    def test_a_estimated_from_arrivals(self):
+        cfg = ReservationConfig(update_period=1.0, min_arrivals=10,
+                                smoothing=1.0)
+        ctrl = ReservationController(4, 32, cfg)
+        feed(ctrl, 0.5, n_static=30, n_dynamic=15)
+        ctrl.observe_arrival(RequestKind.STATIC, 1.5)  # crosses the period
+        assert ctrl.a_estimate == pytest.approx(15 / 31, abs=0.05)
+
+    def test_r_estimated_from_response_ratio(self):
+        ctrl = ReservationController(4, 32, ReservationConfig(smoothing=1.0))
+        ctrl.observe_response(RequestKind.STATIC, 0.001)
+        ctrl.observe_response(RequestKind.DYNAMIC, 0.040)
+        assert ctrl.r_estimate == pytest.approx(0.025)
+
+    def test_r_capped_at_one(self):
+        ctrl = ReservationController(4, 32, ReservationConfig(smoothing=1.0))
+        ctrl.observe_response(RequestKind.STATIC, 0.080)
+        ctrl.observe_response(RequestKind.DYNAMIC, 0.040)
+        assert ctrl.r_estimate == 1.0
+
+    def test_no_estimate_without_both_classes(self):
+        ctrl = ReservationController(4, 32)
+        ctrl.observe_response(RequestKind.STATIC, 0.001)
+        assert ctrl.r_estimate is None
+
+    def test_cap_tracks_theorem_formula(self):
+        cfg = ReservationConfig(update_period=1.0, min_arrivals=10,
+                                smoothing=1.0)
+        ctrl = ReservationController(4, 32, cfg)
+        ctrl.observe_response(RequestKind.STATIC, 0.001)
+        ctrl.observe_response(RequestKind.DYNAMIC, 0.040)
+        feed(ctrl, 0.5, n_static=20, n_dynamic=10)
+        ctrl.observe_arrival(RequestKind.STATIC, 1.5)
+        expected = reservation_ratio(ctrl.a_estimate, ctrl.r_estimate, 4, 32)
+        assert ctrl.theta_cap == pytest.approx(expected)
+        assert ctrl.updates >= 1
+
+
+class TestSelfStabilization:
+    def _converge(self, theta_init):
+        """Drive the controller with a stationary synthetic workload."""
+        cfg = ReservationConfig(theta_init=theta_init, update_period=1.0,
+                                min_arrivals=10, smoothing=0.5)
+        ctrl = ReservationController(4, 32, cfg)
+        now = 0.0
+        for _ in range(50):
+            now += 1.0
+            ctrl.observe_response(RequestKind.STATIC, 0.001)
+            ctrl.observe_response(RequestKind.DYNAMIC, 0.040)
+            feed(ctrl, now - 0.5, n_static=20, n_dynamic=10)
+            ctrl.observe_arrival(RequestKind.STATIC, now + 0.01)
+        return ctrl.theta_cap
+
+    def test_converges_from_extremes(self):
+        lo = self._converge(0.0)
+        hi = self._converge(1.0)
+        assert lo == pytest.approx(hi, abs=1e-6)
+
+    def test_converged_value_is_formula(self):
+        cap = self._converge(0.5)
+        assert cap == pytest.approx(reservation_ratio(0.5, 0.025, 4, 32),
+                                    abs=0.01)
+
+
+class TestValidation:
+    def test_bad_m(self):
+        with pytest.raises(ValueError):
+            ReservationController(0, 32)
+        with pytest.raises(ValueError):
+            ReservationController(33, 32)
+
+    def test_bad_config(self):
+        with pytest.raises(ValueError):
+            ReservationConfig(update_period=0).validate()
+        with pytest.raises(ValueError):
+            ReservationConfig(smoothing=0).validate()
+        with pytest.raises(ValueError):
+            ReservationConfig(theta_init=2).validate()

@@ -1,0 +1,117 @@
+"""Tests for session workloads and the DNS-affinity front end."""
+
+import numpy as np
+import pytest
+
+from repro.core.policies import DNSAffinityPolicy
+from repro.sim.cluster import Cluster
+from repro.sim.config import paper_sim_config
+from repro.workload.generator import generate_trace
+from repro.workload.sessions import (
+    SessionConfig,
+    client_concentration,
+    sessionize,
+)
+from repro.workload.traces import UCB
+from tests.conftest import make_static
+
+
+class TestSessionize:
+    @pytest.fixture(scope="class")
+    def trace(self):
+        return generate_trace(UCB, rate=200, n=4000, seed=1)
+
+    def test_preserves_everything_but_client(self, trace):
+        out = sessionize(trace, SessionConfig(seed=2))
+        assert len(out) == len(trace)
+        for a, b in zip(sorted(trace, key=lambda q: q.arrival_time), out):
+            assert a.arrival_time == b.arrival_time
+            assert a.demand == b.demand
+            assert a.kind == b.kind
+            assert b.client_id >= 0
+
+    def test_mean_session_length(self, trace):
+        out = sessionize(trace, SessionConfig(mean_session_length=10.0,
+                                              num_clients=10 ** 9, seed=2))
+        # With a huge pool, consecutive same-client runs ARE sessions.
+        runs = []
+        current, length = out[0].client_id, 0
+        for q in out:
+            if q.client_id == current:
+                length += 1
+            else:
+                runs.append(length)
+                current, length = q.client_id, 1
+        runs.append(length)
+        assert np.mean(runs) == pytest.approx(10.0, rel=0.2)
+
+    def test_small_pool_concentrates(self, trace):
+        few = sessionize(trace, SessionConfig(num_clients=5, seed=2))
+        many = sessionize(trace, SessionConfig(num_clients=5000, seed=2))
+        assert client_concentration(few) > client_concentration(many)
+
+    def test_empty_ok(self):
+        assert sessionize([]) == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SessionConfig(mean_session_length=0.5).validate()
+        with pytest.raises(ValueError):
+            SessionConfig(num_clients=0).validate()
+        with pytest.raises(ValueError):
+            client_concentration([])
+
+
+class TestDNSAffinity:
+    def test_same_client_same_node(self):
+        import dataclasses
+
+        policy = DNSAffinityPolicy(4, seed=0)
+        nodes = set()
+        for i in range(10):
+            req = dataclasses.replace(make_static(req_id=i), client_id=7)
+            nodes.add(policy.route(req, None).node_id)
+        assert len(nodes) == 1
+
+    def test_distinct_clients_rotate(self):
+        import dataclasses
+        from tests.conftest import make_static as mk
+
+        policy = DNSAffinityPolicy(4, seed=0)
+        nodes = [policy.route(dataclasses.replace(mk(req_id=i),
+                                                  client_id=i), None).node_id
+                 for i in range(8)]
+        assert nodes == [0, 1, 2, 3, 0, 1, 2, 3]
+        assert policy.distinct_bindings == 8
+
+    def test_anonymous_requests_rotate(self):
+        policy = DNSAffinityPolicy(3, seed=0)
+        nodes = [policy.route(make_static(req_id=i), None).node_id
+                 for i in range(6)]
+        assert nodes == [0, 1, 2, 0, 1, 2]
+        assert policy.distinct_bindings == 0
+
+    def test_dns_affinity_imbalances_load(self):
+        """The paper's claim: with few heavy clients, cached DNS answers
+        concentrate load while per-request randomisation spreads it."""
+        from repro.core.policies import FlatPolicy
+
+        trace = sessionize(
+            generate_trace(UCB, rate=400, duration=6.0, seed=3),
+            SessionConfig(num_clients=12, mean_session_length=30,
+                          seed=4))
+
+        def per_node_requests(policy):
+            cluster = Cluster(paper_sim_config(num_nodes=8, seed=5),
+                              policy)
+            cluster.submit_many(trace)
+            cluster.run(until=60.0)
+            return np.array([n.admitted for n in cluster.nodes])
+
+        dns = per_node_requests(DNSAffinityPolicy(8, seed=6))
+        flat = per_node_requests(FlatPolicy(8, seed=6))
+
+        def cov(x):
+            return x.std() / x.mean()
+
+        assert cov(dns) > 2 * cov(flat)

@@ -1,0 +1,139 @@
+"""Property-based tests of whole-simulator invariants.
+
+Hypothesis generates small random traces and cluster shapes; each replay
+must satisfy conservation and causality invariants regardless of the
+workload, policy, or seed.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.policies import make_policy
+from repro.sim.cluster import Cluster
+from repro.sim.config import paper_sim_config
+from repro.workload.request import Request, RequestKind
+
+
+@st.composite
+def small_traces(draw):
+    """A handful of mixed requests with bounded demands."""
+    n = draw(st.integers(min_value=1, max_value=40))
+    requests = []
+    t = 0.0
+    for i in range(n):
+        t += draw(st.floats(min_value=0.0, max_value=0.02))
+        dynamic = draw(st.booleans())
+        if dynamic:
+            demand = draw(st.floats(min_value=1e-4, max_value=0.08))
+            w = draw(st.floats(min_value=0.05, max_value=0.95))
+            cpu, io = demand * w, demand * (1 - w)
+            pages = draw(st.integers(min_value=0, max_value=512))
+        else:
+            cpu = draw(st.floats(min_value=1e-5, max_value=0.003))
+            io, pages = 0.0, 2
+        requests.append(Request(
+            req_id=i, arrival_time=t,
+            kind=RequestKind.DYNAMIC if dynamic else RequestKind.STATIC,
+            cpu_demand=cpu, io_demand=io, mem_pages=pages,
+            size_bytes=draw(st.integers(min_value=64, max_value=100_000)),
+            type_key="cgi:spin" if dynamic else "static",
+        ))
+    return requests
+
+
+POLICY_NAMES = ("MS", "MS-nr", "MS-1", "Flat", "RoundRobin",
+                "LeastActive", "MSPrime")
+
+
+@st.composite
+def cluster_shapes(draw):
+    p = draw(st.integers(min_value=1, max_value=8))
+    m = draw(st.integers(min_value=1, max_value=p))
+    name = draw(st.sampled_from(POLICY_NAMES))
+    if p == 1 and name in ("MS", "MS-nr", "MSPrime"):
+        m = 1
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    return p, m, name, seed
+
+
+def run_replay(trace, p, m, name, seed):
+    cfg = paper_sim_config(num_nodes=p, seed=seed)
+    policy = make_policy(name, p, m, seed=seed + 1)
+    cluster = Cluster(cfg, policy)
+    cluster.submit_many(trace)
+    deadline = max(q.arrival_time for q in trace) + 30.0
+    cluster.run(until=deadline)
+    extensions = 0
+    while any(n.active for n in cluster.nodes) and extensions < 30:
+        deadline += 30.0
+        cluster.run(until=deadline)
+        extensions += 1
+    return cluster
+
+
+class TestReplayInvariants:
+    @given(trace=small_traces(), shape=cluster_shapes())
+    @settings(max_examples=60, deadline=None)
+    def test_conservation_and_causality(self, trace, shape):
+        p, m, name, seed = shape
+        cluster = run_replay(trace, p, m, name, seed)
+
+        # Every request completes exactly once.
+        assert len(cluster.metrics) == len(trace)
+        assert sum(n.completed for n in cluster.nodes) == len(trace)
+        assert all(n.active == 0 for n in cluster.nodes)
+        assert all(n.busy_slots == 0 for n in cluster.nodes)
+        assert all(len(n.backlog) == 0 for n in cluster.nodes)
+
+        # Causality: nothing finishes before it arrives plus its demand.
+        for arr, fin, dem in zip(cluster.metrics.arrivals,
+                                 cluster.metrics.finishes,
+                                 cluster.metrics.demands):
+            assert fin >= arr + dem - 1e-9
+
+        # Memory fully returned on every node.
+        for node in cluster.nodes:
+            allocatable = (node.cfg.memory.total_pages
+                           - node.cfg.memory.reserved_pages)
+            assert node.memory.free_pages == allocatable
+
+    @given(trace=small_traces(), shape=cluster_shapes())
+    @settings(max_examples=25, deadline=None)
+    def test_determinism(self, trace, shape):
+        p, m, name, seed = shape
+        a = run_replay(trace, p, m, name, seed)
+        b = run_replay(trace, p, m, name, seed)
+        assert a.metrics.finishes == b.metrics.finishes
+        assert a.metrics.nodes == b.metrics.nodes
+
+    @given(trace=small_traces(), shape=cluster_shapes())
+    @settings(max_examples=25, deadline=None)
+    def test_work_conservation_without_paging(self, trace, shape):
+        p, m, name, seed = shape
+        cfg = paper_sim_config(num_nodes=p, seed=seed)
+        cfg.memory.enable_paging = False
+        policy = make_policy(name, p, m, seed=seed + 1)
+        cluster = Cluster(cfg, policy)
+        cluster.submit_many(trace)
+        deadline = max(q.arrival_time for q in trace) + 60.0
+        cluster.run(until=deadline)
+
+        from repro.sim.process import MIN_CPU_SLIVER
+
+        # The plan builder pads every request's CPU to the sliver minimum
+        # (parse/respond work exists even for near-zero demands).
+        cpu_demand = sum(max(q.cpu_demand, MIN_CPU_SLIVER) for q in trace)
+        forks = sum(q.is_dynamic for q in trace) * cfg.cpu.fork_overhead
+        switches = sum(n.cpu.switches for n in cluster.nodes) \
+            * cfg.cpu.context_switch_overhead
+        busy = sum(n.cpu.busy_time for n in cluster.nodes)
+        # Preemption can cut a context switch short, so the overhead term
+        # is an upper bound; the work terms are exact.
+        floor = cpu_demand + forks
+        ceiling = cpu_demand + forks + switches
+        assert floor - 1e-9 <= busy <= ceiling + 1e-9
+        io_demand = sum(q.io_demand for q in trace)
+        disk_busy = sum(n.disk.busy_time for n in cluster.nodes)
+        assert disk_busy == pytest.approx(io_demand, rel=1e-6, abs=1e-9)

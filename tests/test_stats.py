@@ -1,0 +1,72 @@
+"""Tests for multi-seed experiment statistics."""
+
+import pytest
+
+from repro.analysis.stats import Summary, run_bakeoff_multi, summarize
+from repro.workload.traces import KSU
+
+
+class TestSummarize:
+    def test_single_sample(self):
+        s = summarize([3.5])
+        assert s.mean == 3.5
+        assert s.half_width == 0.0
+        assert s.n == 1
+
+    def test_constant_sample(self):
+        s = summarize([2.0, 2.0, 2.0, 2.0])
+        assert s.mean == 2.0
+        assert s.half_width == 0.0
+
+    def test_ci_contains_mean_of_generating_process(self):
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        hits = 0
+        for _ in range(100):
+            s = summarize(rng.normal(5.0, 1.0, size=10), confidence=0.95)
+            if s.lo <= 5.0 <= s.hi:
+                hits += 1
+        assert hits >= 85  # ~95 expected
+
+    def test_wider_confidence_wider_interval(self):
+        vals = [1.0, 2.0, 3.0, 4.0]
+        assert summarize(vals, 0.99).half_width > \
+            summarize(vals, 0.90).half_width
+
+    def test_str_formats(self):
+        assert str(summarize([2.0])) == "2.00"
+        assert "±" in str(summarize([1.0, 3.0]))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            summarize([])
+        with pytest.raises(ValueError):
+            summarize([1.0], confidence=1.0)
+
+
+class TestMultiSeedBakeoff:
+    @pytest.fixture(scope="class")
+    def multi(self):
+        return run_bakeoff_multi(KSU, lam=200, r=1 / 40, p=4,
+                                 duration=3.0, seeds=(1, 2, 3),
+                                 policies=("MS", "Flat"))
+
+    def test_aggregates_all_seeds(self, multi):
+        assert len(multi.results) == 3
+        assert multi.stretch["MS"].n == 3
+        assert multi.improvement["Flat"].n == 3
+
+    def test_stretch_positive(self, multi):
+        assert multi.stretch["MS"].mean >= 1.0
+        assert multi.stretch["Flat"].mean >= 1.0
+
+    def test_significance_helpers_consistent(self, multi):
+        s = multi.improvement["Flat"]
+        assert multi.significantly_better("Flat") == (s.lo > 0)
+        assert multi.significantly_worse("Flat") == (s.hi < 0)
+
+    def test_requires_seeds(self):
+        with pytest.raises(ValueError):
+            run_bakeoff_multi(KSU, lam=200, r=1 / 40, p=4, duration=2.0,
+                              seeds=())

@@ -1,0 +1,83 @@
+"""Unit tests for the stretch-factor metric helpers."""
+
+import math
+
+import pytest
+
+from repro.core.stretch import (
+    combine_stretch,
+    improvement_percent,
+    stretch_factor,
+)
+
+
+class TestStretchFactor:
+    def test_basic(self):
+        assert stretch_factor([2.0, 4.0], [1.0, 2.0]) == pytest.approx(2.0)
+
+    def test_no_contention_is_one(self):
+        assert stretch_factor([1.0, 0.5], [1.0, 0.5]) == pytest.approx(1.0)
+
+    def test_mean_not_ratio_of_sums(self):
+        # mean(t/d) = (3 + 1)/2 = 2, not (3+1)/(1+1) = 2 here; distinguish
+        # with asymmetric demands: mean(6/2, 1/1) = 2 vs sum ratio 7/3.
+        assert stretch_factor([6.0, 1.0], [2.0, 1.0]) == pytest.approx(2.0)
+
+    def test_rejects_mismatched_shapes(self):
+        with pytest.raises(ValueError):
+            stretch_factor([1.0], [1.0, 2.0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            stretch_factor([], [])
+
+    def test_rejects_nonpositive_demand(self):
+        with pytest.raises(ValueError):
+            stretch_factor([1.0], [0.0])
+
+    def test_rejects_impossible_response(self):
+        with pytest.raises(ValueError):
+            stretch_factor([0.5], [1.0])
+
+
+class TestCombineStretch:
+    def test_weighted_mean(self):
+        assert combine_stretch([1.0, 3.0], [3.0, 1.0]) == pytest.approx(1.5)
+
+    def test_equal_weights(self):
+        assert combine_stretch([2.0, 4.0], [1.0, 1.0]) == pytest.approx(3.0)
+
+    def test_paper_equation_two_form(self):
+        # SM = [(1 + a*theta)*S_m + a*(1-theta)*S_s] / (1 + a)
+        a, theta, s_m, s_s = 0.5, 0.2, 1.5, 2.5
+        expected = ((1 + a * theta) * s_m + a * (1 - theta) * s_s) / (1 + a)
+        got = combine_stretch([s_m, s_s], [1 + a * theta, a * (1 - theta)])
+        assert got == pytest.approx(expected)
+
+    def test_rejects_negative_weights(self):
+        with pytest.raises(ValueError):
+            combine_stretch([1.0], [-1.0])
+
+    def test_rejects_zero_total_weight(self):
+        with pytest.raises(ValueError):
+            combine_stretch([1.0], [0.0])
+
+
+class TestImprovement:
+    def test_positive_when_candidate_better(self):
+        assert improvement_percent(3.0, 2.0) == pytest.approx(50.0)
+
+    def test_zero_when_equal(self):
+        assert improvement_percent(2.0, 2.0) == pytest.approx(0.0)
+
+    def test_negative_when_candidate_worse(self):
+        assert improvement_percent(2.0, 4.0) == pytest.approx(-50.0)
+
+    def test_infinite_baseline(self):
+        assert improvement_percent(math.inf, 2.0) == math.inf
+
+    def test_rejects_bad_candidate(self):
+        with pytest.raises(ValueError):
+            improvement_percent(2.0, 0.0)
+        with pytest.raises(ValueError):
+            improvement_percent(2.0, math.inf)

@@ -1,0 +1,113 @@
+"""Unit tests for the Sun-cluster testbed emulator."""
+
+import numpy as np
+import pytest
+
+from repro.core.policies import FlatPolicy, make_ms
+from repro.sim.cluster import Cluster
+from repro.testbed.emulator import (
+    SUN_CLUSTER_NODES,
+    SUN_ULTRA1_STATIC_RATE,
+    TestbedConfig,
+    replay_on_testbed,
+)
+from repro.testbed.noise import BackgroundLoad, NoiseConfig, jitter_demands
+from repro.workload.generator import generate_trace
+from repro.workload.traces import UCB
+from tests.conftest import make_cgi, make_static
+
+
+class TestNoiseConfig:
+    def test_defaults_validate(self):
+        NoiseConfig().validate()
+
+    def test_bad_values(self):
+        with pytest.raises(ValueError):
+            NoiseConfig(bg_rate=-1).validate()
+        with pytest.raises(ValueError):
+            NoiseConfig(bg_demand=0).validate()
+        with pytest.raises(ValueError):
+            NoiseConfig(demand_jitter=-0.1).validate()
+
+
+class TestJitter:
+    def test_zero_sigma_is_copy(self):
+        reqs = [make_static(req_id=i) for i in range(5)]
+        out = jitter_demands(reqs, 0.0)
+        assert [q.demand for q in out] == [q.demand for q in reqs]
+
+    def test_jitter_preserves_mean(self):
+        reqs = [make_cgi(req_id=i, cpu=0.03, io=0.003)
+                for i in range(20000)]
+        out = jitter_demands(reqs, 0.2, seed=1)
+        mean_in = np.mean([q.demand for q in reqs])
+        mean_out = np.mean([q.demand for q in out])
+        assert mean_out == pytest.approx(mean_in, rel=0.02)
+
+    def test_jitter_changes_individuals(self):
+        reqs = [make_cgi(req_id=i) for i in range(10)]
+        out = jitter_demands(reqs, 0.2, seed=1)
+        assert any(a.demand != b.demand for a, b in zip(reqs, out))
+
+    def test_metadata_preserved(self):
+        reqs = [make_cgi(req_id=7, mem_pages=55)]
+        out = jitter_demands(reqs, 0.2, seed=1)
+        assert out[0].req_id == 7
+        assert out[0].mem_pages == 55
+        assert out[0].type_key == reqs[0].type_key
+
+
+class TestBackgroundLoad:
+    def test_injects_until_stop(self):
+        tb = TestbedConfig()
+        cluster = Cluster(tb.sim_config(), FlatPolicy(tb.num_nodes, seed=1))
+        bg = BackgroundLoad(cluster, NoiseConfig(bg_rate=5.0, seed=2),
+                            stop_at=2.0)
+        bg.start()
+        cluster.run(until=10.0)
+        assert bg.injected > 0
+        # Roughly rate * nodes * stop_at injections.
+        expected = 5.0 * tb.num_nodes * 2.0
+        assert bg.injected == pytest.approx(expected, rel=0.5)
+
+    def test_zero_rate_injects_nothing(self):
+        tb = TestbedConfig()
+        cluster = Cluster(tb.sim_config(), FlatPolicy(tb.num_nodes, seed=1))
+        bg = BackgroundLoad(cluster, NoiseConfig(bg_rate=0.0), stop_at=2.0)
+        bg.start()
+        cluster.run(until=5.0)
+        assert bg.injected == 0
+
+
+class TestEmulator:
+    def test_paper_constants(self):
+        tb = TestbedConfig()
+        assert tb.num_nodes == SUN_CLUSTER_NODES == 6
+        assert tb.static_rate == SUN_ULTRA1_STATIC_RATE == 110.0
+        cfg = tb.sim_config()
+        assert cfg.num_nodes == 6
+        assert cfg.static_rate == 110.0
+
+    def test_replay_runs_and_reports(self):
+        trace = generate_trace(UCB, rate=30, duration=5.0, mu_h=110,
+                               r=1 / 40, seed=4)
+        report = replay_on_testbed(make_ms(6, 3, seed=5), trace)
+        assert report.completed > 0
+        assert report.overall.stretch >= 1.0
+
+    def test_noise_degrades_vs_clean_sim(self):
+        """The noisy testbed should be slower than the clean simulator on
+        the same trace and policy."""
+        from repro.workload.replay import replay
+
+        tb = TestbedConfig(noise=NoiseConfig(bg_rate=6.0, bg_demand=0.08,
+                                             demand_jitter=0.0, seed=9))
+        trace = generate_trace(UCB, rate=60, duration=5.0, mu_h=110,
+                               r=1 / 40, seed=4)
+        noisy = replay_on_testbed(make_ms(6, 3, seed=5), trace, tb)
+        clean = replay(tb.sim_config(), make_ms(6, 3, seed=5), trace)
+        assert noisy.overall.stretch > clean.report.overall.stretch
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            replay_on_testbed(make_ms(6, 3), [])

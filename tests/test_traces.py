@@ -1,0 +1,92 @@
+"""Unit tests for the Table-1 trace specifications."""
+
+import pytest
+
+from repro.workload.traces import (
+    ADL,
+    DEC,
+    EXPERIMENT_TRACES,
+    KSU,
+    TRACES,
+    UCB,
+    UCB_SEGMENT_REQUESTS,
+    TraceSpec,
+    get_trace,
+)
+
+
+class TestTable1Constants:
+    """The published Table-1 numbers, verbatim."""
+
+    @pytest.mark.parametrize("spec,year,n,pct,intv,html,cgi", [
+        (DEC, 1996, 24_500_000, 8.7, 0.09, 8821, 5735),
+        (UCB, 1996, 9_200_000, 11.2, 0.139, 7519, 4591),
+        (KSU, 1998, 47_364, 29.1, 18.486, 482, 8730),
+        (ADL, 1997, 73_610, 44.3, 22.418, 2186, 2027),
+    ])
+    def test_row(self, spec, year, n, pct, intv, html, cgi):
+        assert spec.year == year
+        assert spec.n_requests == n
+        assert spec.pct_cgi == pytest.approx(pct)
+        assert spec.mean_interval == pytest.approx(intv)
+        assert spec.html_size == html
+        assert spec.cgi_size == cgi
+
+    def test_experiment_traces_exclude_dec(self):
+        names = [t.name for t in EXPERIMENT_TRACES]
+        assert names == ["UCB", "KSU", "ADL"]
+
+    def test_ucb_segment(self):
+        assert UCB_SEGMENT_REQUESTS == 128_668
+
+
+class TestDerived:
+    def test_arrival_ratio(self):
+        # 44.3% CGI -> a = 0.443/0.557
+        assert ADL.arrival_ratio_a == pytest.approx(0.443 / 0.557)
+
+    def test_native_rate(self):
+        assert UCB.native_rate == pytest.approx(1 / 0.139)
+
+    def test_cgi_fraction(self):
+        assert KSU.cgi_fraction == pytest.approx(0.291)
+
+    def test_cgi_mix_weights_sum_to_one(self):
+        for spec in TRACES.values():
+            assert sum(wt for _, wt in spec.cgi_mix) == pytest.approx(1.0)
+
+    def test_profiles_resolvable(self):
+        from repro.workload.cgi_profiles import get_profile
+        for spec in TRACES.values():
+            for name, _ in spec.cgi_mix:
+                get_profile(name)
+
+
+class TestLookup:
+    def test_case_insensitive(self):
+        assert get_trace("ucb") is UCB
+        assert get_trace("ADL") is ADL
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            get_trace("NCSA")
+
+
+class TestValidation:
+    def test_bad_pct(self):
+        with pytest.raises(ValueError):
+            TraceSpec(name="x", year=2000, n_requests=1, pct_cgi=150,
+                      mean_interval=1.0, html_size=1, cgi_size=1,
+                      cgi_mix=(("spin", 1.0),))
+
+    def test_bad_mix_weights(self):
+        with pytest.raises(ValueError):
+            TraceSpec(name="x", year=2000, n_requests=1, pct_cgi=10,
+                      mean_interval=1.0, html_size=1, cgi_size=1,
+                      cgi_mix=(("spin", 0.5),))
+
+    def test_empty_mix(self):
+        with pytest.raises(ValueError):
+            TraceSpec(name="x", year=2000, n_requests=1, pct_cgi=10,
+                      mean_interval=1.0, html_size=1, cgi_size=1,
+                      cgi_mix=())
