@@ -13,6 +13,10 @@ Commands
 ``fig3 / table1 / table2 / fig4 / fig5 / table3``
     Regenerate the paper's artifacts (quick grids; see benchmarks/ for the
     asserting versions).
+``chaos``
+    Run a named chaos scenario (crash storms, recruitment churn, overload
+    bursts) against baseline and resilience-enabled M/S clusters and print
+    the availability comparison.
 ``calibrate``
     Check the clean simulator against M/M/1.
 """
@@ -31,6 +35,7 @@ from repro.core.policies import make_policy
 from repro.core.queuing import Workload, flat_stretch
 from repro.core.theorem import optimal_masters, theta_bounds
 from repro.sim.config import paper_sim_config
+from repro.sim.failures import CHAOS_SCENARIOS
 from repro.workload.generator import generate_trace, trace_statistics
 from repro.workload.io import load_trace, save_trace
 from repro.workload.replay import pretrain_sampler, replay
@@ -159,6 +164,23 @@ def cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """``repro chaos``: availability under a composed failure scenario."""
+    result = experiments.run_chaos(
+        scenario=args.scenario,
+        trace_name=args.trace,
+        p=args.nodes,
+        rate=args.rate,
+        duration=args.duration,
+        inv_r=int(args.inv_r),
+        seed=args.seed,
+        mu_h=args.mu_h,
+        detection_mode=args.detection_mode,
+    )
+    print(result.render())
+    return 0
+
+
 def cmd_calibrate(args: argparse.Namespace) -> int:
     """``repro calibrate``: clean-simulator vs M/M/1 check."""
     rows = mm1_calibration(duration=args.duration * 5, seed=args.seed)
@@ -211,6 +233,18 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--duration", type=float, default=6.0)
         p.add_argument("--n", type=int, default=20000)
         p.set_defaults(func=cmd_experiment, experiment=exp)
+
+    p = sub.add_parser("chaos", help="availability under failure scenarios")
+    _add_workload_args(p)
+    p.set_defaults(rate=400.0, duration=45.0)
+    p.add_argument("--scenario", default="storm-burst",
+                   choices=sorted(CHAOS_SCENARIOS),
+                   help="named failure composition")
+    p.add_argument("--nodes", type=int, default=16)
+    p.add_argument("--detection-mode", default="monitor",
+                   choices=("switch", "monitor"),
+                   help="how membership learns about crashes")
+    p.set_defaults(func=cmd_chaos)
 
     p = sub.add_parser("calibrate", help="simulator vs M/M/1")
     p.add_argument("--duration", type=float, default=10.0)

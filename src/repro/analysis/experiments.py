@@ -11,6 +11,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.analysis.figures import grouped_bar_chart, line_plot
 from repro.analysis.reporting import format_table
 from repro.analysis.sweep import (
@@ -19,12 +21,18 @@ from repro.analysis.sweep import (
     make_bakeoff_policy,
     run_bakeoff,
 )
+from repro.core.policies import make_ms
 from repro.core.queuing import Workload, best_msprime, flat_stretch
 from repro.core.stretch import improvement_percent
 from repro.core.theorem import optimal_masters
+from repro.sim.cluster import Cluster
+from repro.sim.config import SimConfig
+from repro.sim.failures import CHAOS_SCENARIOS, ChaosScenario, FailurePolicy
+from repro.sim.resilience import ResilienceConfig
 from repro.testbed.emulator import TestbedConfig, replay_on_testbed
 from repro.workload.generator import generate_trace, trace_statistics
 from repro.workload.replay import pretrain_sampler, replay
+from repro.workload.request import Request
 from repro.workload.traces import ADL, EXPERIMENT_TRACES, KSU, TRACES, UCB, TraceSpec
 
 # ---------------------------------------------------------------------------
@@ -519,3 +527,180 @@ def run_table3(
                     simulated=improvement_percent(other_sim, ms_sim),
                 ))
     return Table3Result(rows=rows)
+
+
+# ---------------------------------------------------------------------------
+# Chaos — availability of the resilience layer under composed failures
+# ---------------------------------------------------------------------------
+
+
+@dataclass(slots=True)
+class ChaosRow:
+    """One cluster variant's availability under a chaos scenario."""
+
+    label: str
+    submitted: int
+    completed: int
+    dropped: int
+    lost: int
+    retries: int
+    goodput: float
+    slo_violations: int
+    p99_stretch: float
+    static_mean_response: float
+    mean_unavailability: float
+    balance: int
+
+
+@dataclass(slots=True)
+class ChaosResult:
+    """Baseline vs resilient (vs failure-free reference) on one scenario."""
+
+    scenario: ChaosScenario
+    horizon: float
+    rows: List[ChaosRow]
+
+    def row(self, label: str) -> ChaosRow:
+        for row in self.rows:
+            if row.label == label:
+                return row
+        raise KeyError(label)
+
+    def render(self) -> str:
+        rows = [[r.label, r.submitted, r.completed, r.dropped, r.lost,
+                 r.retries, f"{r.goodput:.1f}", r.slo_violations,
+                 f"{r.p99_stretch:.1f}", f"{r.static_mean_response * 1e3:.1f}",
+                 f"{r.mean_unavailability * 100:.1f}", r.balance]
+                for r in self.rows]
+        txt = format_table(
+            ["variant", "subm", "done", "drop", "lost", "retry",
+             "goodput/s", "slo-viol", "p99 S", "static ms",
+             "unavail %", "balance"],
+            rows,
+            title=(f"Chaos scenario {self.scenario.name!r}: "
+                   f"{self.scenario.description}"),
+        )
+        txt += ("\nbalance must be 0 on every row "
+                "(request-conservation invariant)")
+        return txt
+
+
+def _chaos_trace(spec: TraceSpec, scenario: ChaosScenario, rate: float,
+                 duration: float, mu_h: float, r: float,
+                 seed: int) -> List[Request]:
+    """The scenario's trace: base load plus its overload burst, renumbered."""
+    base = generate_trace(spec, rate=rate, duration=duration, mu_h=mu_h,
+                          r=r, seed=seed)
+    if scenario.burst_factor > 1.0 and scenario.burst_duration_frac > 0:
+        start, end = scenario.burst_window(duration)
+        extra = generate_trace(spec, rate=rate * (scenario.burst_factor - 1.0),
+                               duration=end - start, mu_h=mu_h, r=r,
+                               seed=seed + 1, start=start)
+        base = sorted(base + extra, key=lambda q: q.arrival_time)
+        for i, req in enumerate(base):
+            req.req_id = i
+    return base
+
+
+def default_chaos_resilience(duration: float) -> ResilienceConfig:
+    """Resilience tuning used by the chaos experiments: finite dynamic
+    deadlines well above healthy response times, a modest retry budget,
+    and shedding thresholds reachable within a short run."""
+    return ResilienceConfig(
+        deadline_static=None,
+        deadline_dynamic=min(10.0, duration / 4.0),
+        max_retries=4,
+        shed_stretch=40.0,
+        shed_backlog=30.0,
+    )
+
+
+def run_chaos(
+    scenario: str | ChaosScenario = "storm-burst",
+    trace_name: str = "UCB",
+    p: int = 16,
+    rate: float = 400.0,
+    duration: float = 60.0,
+    inv_r: int = 40,
+    drain: float = 60.0,
+    seed: int = 0,
+    mu_h: float = 1200.0,
+    detection_mode: str = "monitor",
+    resilience_cfg: Optional[ResilienceConfig] = None,
+    include_reference: bool = True,
+) -> ChaosResult:
+    """Drive one chaos scenario against seed-behaviour and resilient M/S.
+
+    Three clusters replay the *same* trace (base load plus the scenario's
+    overload burst) under the same policy construction and seeds:
+
+    * ``failure-free`` — resilience armed but no chaos events: the
+      reference the degradation criteria compare against;
+    * ``baseline`` — chaos with seed semantics (no deadlines/retry budget
+      /shedding; crashed work restarts per the failure policy);
+    * ``resilient`` — chaos with the resilience layer armed.
+
+    The request-conservation invariant is asserted on every variant.
+    """
+    if isinstance(scenario, str):
+        try:
+            scenario = CHAOS_SCENARIOS[scenario]
+        except KeyError:
+            raise ValueError(
+                f"unknown scenario {scenario!r}; known: "
+                f"{sorted(CHAOS_SCENARIOS)}") from None
+    scenario.validate()
+    spec = TRACES[trace_name]
+    r = 1.0 / inv_r
+    trace = _chaos_trace(spec, scenario, rate, duration, mu_h, r, seed)
+    sampler = pretrain_sampler(trace, seed=seed)
+    m = choose_masters(spec, rate, mu_h, r, p)
+    res_cfg = resilience_cfg or default_chaos_resilience(duration)
+    failure_policy = FailurePolicy(detection_mode=detection_mode)
+
+    variants: List[Tuple[str, bool, Optional[ResilienceConfig]]] = []
+    if include_reference:
+        variants.append(("failure-free", False, res_cfg))
+    variants.append(("baseline", True, None))
+    variants.append(("resilient", True, res_cfg))
+
+    rows: List[ChaosRow] = []
+    horizon = duration + drain
+    for label, inject, res in variants:
+        policy = make_ms(p, m, sampler=sampler, seed=seed + 5)
+        cluster = Cluster(SimConfig(num_nodes=p, seed=seed),
+                          policy, failure_policy=failure_policy,
+                          resilience=res)
+        if inject:
+            scenario.apply(cluster, duration,
+                           np.random.default_rng(seed + 17))
+        cluster.submit_many(trace)
+        deadline = duration + drain
+        cluster.run(until=deadline)
+        extensions = 0
+        while (any(node.active for node in cluster.nodes)
+               or cluster.pending_requests()) and extensions < 20:
+            deadline += drain
+            cluster.run(until=deadline)
+            extensions += 1
+        cluster.assert_conservation()
+        avail = cluster.availability(horizon=cluster.engine.now,
+                                     slo_stretch=res_cfg.slo_stretch)
+        report = cluster.metrics.report()
+        static_mean = report.static.mean_response
+        rows.append(ChaosRow(
+            label=label,
+            submitted=avail.submitted,
+            completed=avail.completed,
+            dropped=avail.total_dropped,
+            lost=avail.lost,
+            retries=avail.retries,
+            goodput=avail.goodput,
+            slo_violations=avail.slo_violations,
+            p99_stretch=avail.p99_stretch,
+            static_mean_response=static_mean,
+            mean_unavailability=avail.mean_unavailability,
+            balance=avail.balance,
+        ))
+        horizon = max(horizon, cluster.engine.now)
+    return ChaosResult(scenario=scenario, horizon=horizon, rows=rows)

@@ -23,7 +23,13 @@ from repro.workload.request import Request, RequestKind
 
 
 class LoadView(Protocol):
-    """What a policy is allowed to observe about the cluster."""
+    """What a policy is allowed to observe about the cluster.
+
+    Views may additionally expose a suspicion layer — ``all_healthy()``,
+    ``healthy_array()``, ``is_suspect(node_id)`` (see
+    :class:`repro.sim.cluster.ClusterView`).  Policies probe for it with
+    ``getattr`` so minimal views (tests, external drivers) keep working.
+    """
 
     @property
     def num_nodes(self) -> int: ...
@@ -103,7 +109,24 @@ class Policy(abc.ABC):
         return int(self._masters[self.rng.integers(len(self._masters))])
 
     def _alive(self, view: LoadView, ids: np.ndarray) -> np.ndarray:
-        """Restrict a candidate id array to in-service nodes."""
+        """Restrict a candidate id array to in-service, trusted nodes.
+
+        When the view exposes the suspicion layer, nodes flagged *suspect*
+        (failed probe, stale sample, post-recovery probation) are excluded
+        before formal crash detection removes them from membership.  If
+        suspicion would empty the pool the plain alive set is used — a
+        node with stale load data still beats refusing service.
+        """
+        all_healthy = getattr(view, "all_healthy", None)
+        if all_healthy is not None:
+            if all_healthy():
+                return ids
+            alive = view.alive_array()
+            pool = ids[alive[ids]]
+            if len(pool) == 0:
+                return pool
+            trusted = ids[view.healthy_array()[ids]]
+            return trusted if len(trusted) else pool
         if view.all_alive():
             return ids
         alive = view.alive_array()
@@ -112,8 +135,6 @@ class Policy(abc.ABC):
     def _random_alive_master(self, view: LoadView) -> int:
         """An in-service accepting master; any alive node acts as master
         when the whole master tier is down (emergency promotion)."""
-        if view.all_alive():
-            return self._random_master()
         masters = self._alive(view, self._masters)
         if len(masters) == 0:
             masters = self._alive(
@@ -442,10 +463,6 @@ class HeteroMSPolicy(MSPolicy):
         self._master_weights = master_caps / master_caps.sum()
 
     def _random_alive_master(self, view: LoadView) -> int:
-        if view.all_alive():
-            idx = self.rng.choice(len(self._masters),
-                                  p=self._master_weights)
-            return int(self._masters[idx])
         masters = self._alive(view, self._masters)
         if len(masters) == 0:
             return super()._random_alive_master(view)

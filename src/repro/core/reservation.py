@@ -65,9 +65,10 @@ class ReservationController:
     * :meth:`observe_response` on every completion.
     """
 
-    __slots__ = ("cfg", "m", "p", "theta_cap", "master_fraction",
-                 "_resp_static", "_resp_dynamic", "_arr_static",
-                 "_arr_dynamic", "_a_est", "_next_update", "updates")
+    __slots__ = ("cfg", "m", "p", "theta_cap", "cap_scale",
+                 "master_fraction", "_resp_static", "_resp_dynamic",
+                 "_arr_static", "_arr_dynamic", "_a_est", "_next_update",
+                 "updates")
 
     def __init__(self, m: int, p: int,
                  cfg: ReservationConfig | None = None):
@@ -78,6 +79,9 @@ class ReservationController:
         self.m = m
         self.p = p
         self.theta_cap = self.cfg.theta_init
+        #: External pressure multiplier on the cap (overload shedding
+        #: tightens it toward 0 so masters keep serving static traffic).
+        self.cap_scale = 1.0
         #: EWMA of the fraction of dynamic requests sent to masters.
         self.master_fraction = 0.0
         self._resp_static: float | None = None
@@ -119,9 +123,24 @@ class ReservationController:
 
     # -- gate ------------------------------------------------------------------------
 
+    def set_pressure(self, scale: float) -> None:
+        """Scale the effective cap by ``scale`` in [0, 1].
+
+        Called by the overload controller: ``0.0`` closes masters to new
+        dynamic work entirely; ``1.0`` restores the adaptive Theorem-1
+        cap.  The underlying ``theta_cap`` keeps adapting throughout, so
+        releasing pressure resumes from an up-to-date estimate.
+        """
+        self.cap_scale = min(1.0, max(0.0, scale))
+
+    @property
+    def effective_cap(self) -> float:
+        """The cap actually gated on: ``theta_cap * cap_scale``."""
+        return self.theta_cap * self.cap_scale
+
     def admit_to_master(self) -> bool:
         """May the next dynamic request consider master nodes?"""
-        return self.master_fraction < self.theta_cap
+        return self.master_fraction < self.effective_cap
 
     def record_decision(self, to_master: bool) -> None:
         """Update the running master-admission fraction the gate uses."""

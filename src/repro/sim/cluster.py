@@ -5,6 +5,14 @@ or DNS plus the master-level acceptors).  Every arriving request is routed
 by the configured :class:`~repro.core.policies.Policy`; a request executed
 on a node other than the one that accepted it pays the remote-CGI network
 latency before admission.
+
+Optional subsystems, both off by default so the seed behaviour is exact:
+
+* a :class:`~repro.sim.failures.FailurePolicy` controls crash semantics
+  (detection mode/delay, restart-vs-lose);
+* a :class:`~repro.sim.resilience.ResilienceConfig` arms the end-to-end
+  resilience layer (per-attempt deadlines, bounded retries with backoff,
+  overload shedding, drop accounting).
 """
 
 from __future__ import annotations
@@ -17,10 +25,15 @@ from repro.core.policies import Policy, Route
 from repro.sim.config import SimConfig
 from repro.sim.engine import Engine
 from repro.sim.failures import FailurePolicy
-from repro.sim.metrics import MetricsCollector, MetricsReport
+from repro.sim.metrics import (
+    AvailabilityReport,
+    MetricsCollector,
+    MetricsReport,
+)
 from repro.sim.monitor import LoadMonitor
 from repro.sim.node import Node
 from repro.sim.process import SimProcess
+from repro.sim.resilience import ResilienceConfig, ResilienceManager
 from repro.workload.request import Request
 
 
@@ -29,6 +42,9 @@ class ClusterView:
 
     Values come from the periodic :class:`LoadMonitor`, so they are stale by
     up to one monitoring period — as they would be when polling ``rstat()``.
+    The *suspicion* flags are part of the view: nodes whose probes fail or
+    whose samples are stale are excluded from candidate sets by policies
+    before the crash is formally detected (see :meth:`healthy_array`).
     """
 
     __slots__ = ("_cluster",)
@@ -74,17 +90,37 @@ class ClusterView:
         """Read-only membership snapshot (do not mutate)."""
         return self._cluster.alive
 
+    # -- suspicion -------------------------------------------------------------
+
+    def is_suspect(self, node_id: int) -> bool:
+        return bool(self._cluster.monitor.suspect[node_id])
+
+    def suspect_array(self) -> np.ndarray:
+        """Read-only suspicion snapshot (do not mutate)."""
+        return self._cluster.monitor.suspect
+
+    def all_healthy(self) -> bool:
+        """O(1) fast path: every node is in service and trusted."""
+        return self.all_alive() and not self._cluster.monitor.any_suspect
+
+    def healthy_array(self) -> np.ndarray:
+        """In-service AND not-suspect membership (fresh array)."""
+        return self._cluster.alive & ~self._cluster.monitor.suspect
+
 
 class Cluster:
     """A simulated Web-server cluster with a pluggable dispatch policy.
 
     Optional failure semantics (crashes, recruitment) are controlled by a
     :class:`~repro.sim.failures.FailurePolicy`; by default all nodes are
-    alive for the whole run and none of the failure paths fire.
+    alive for the whole run and none of the failure paths fire.  Passing a
+    :class:`~repro.sim.resilience.ResilienceConfig` arms deadlines, bounded
+    retries, and overload shedding on the request path.
     """
 
     def __init__(self, cfg: SimConfig, policy: Policy,
-                 failure_policy: Optional[FailurePolicy] = None):
+                 failure_policy: Optional[FailurePolicy] = None,
+                 resilience: Optional[ResilienceConfig] = None):
         cfg.validate()
         if policy.num_nodes != cfg.num_nodes:
             raise ValueError(
@@ -112,11 +148,23 @@ class Cluster:
         self.background_completed = 0
         self.failure_policy = failure_policy or FailurePolicy()
         self.failure_policy.validate()
+        self.resilience: Optional[ResilienceManager] = (
+            ResilienceManager(self, resilience)
+            if resilience is not None else None
+        )
         #: Membership: which nodes are currently in service.
         self.alive = np.ones(cfg.num_nodes, dtype=bool)
         self.alive_count = cfg.num_nodes
+        #: Nodes draining gracefully: no new work, in-flight completes.
+        self._draining: set[int] = set()
         self.restarted_requests = 0
         self.denied_attempts = 0
+        #: Foreground requests lost outright (crash without restart and
+        #: without a resilience layer to account the drop).
+        self.lost_requests = 0
+        #: Per-node accumulated out-of-service time (availability metrics).
+        self.downtime = np.zeros(cfg.num_nodes)
+        self._down_since: Dict[int, float] = {}
 
     # -- submission ---------------------------------------------------------------
 
@@ -136,18 +184,32 @@ class Cluster:
     # -- arrival / completion ---------------------------------------------------
 
     def _arrive(self, request: Request) -> None:
-        route = self.policy.route(request, self.view)
+        mgr = self.resilience
+        if mgr is not None and not mgr.admit(request):
+            return  # shed under overload
+        try:
+            route = self.policy.route(request, self.view)
+        except RuntimeError:
+            if mgr is not None:
+                # Total blackout: back off and retry against the budget.
+                mgr.handle_failure(request, "no_capacity")
+                return
+            raise
         if not 0 <= route.node_id < self.cfg.num_nodes:
             raise ValueError(
                 f"policy routed request {request.req_id} to invalid node "
                 f"{route.node_id}"
             )
-        if not self.alive[route.node_id]:
-            # A failure-unaware front end (DNS rotation with cached IPs)
-            # picked a dead node: the client times out and retries.
+        if (not self.alive[route.node_id]
+                or self.nodes[route.node_id].failed):
+            # A failure-unaware front end (DNS rotation with cached IPs) or
+            # an undetected crash: the client's connection attempt fails.
             self.denied_attempts += 1
-            self.engine.schedule(self.failure_policy.client_retry_timeout,
-                                 self._arrive, request)
+            if mgr is not None:
+                mgr.handle_failure(request, "dead_node")
+            else:
+                self.engine.schedule(self.failure_policy.client_retry_timeout,
+                                     self._arrive, request)
             return
         latency = self.cfg.network.frontend_latency + route.extra_latency
         if route.remote:
@@ -158,46 +220,84 @@ class Cluster:
             self._admit(request, route, 0.0)
 
     def _admit(self, request: Request, route: Route, latency: float) -> None:
-        if not self.alive[route.node_id]:
+        if not self.alive[route.node_id] or self.nodes[route.node_id].failed:
             # The node died during the dispatch hop; re-route.
-            self.engine.schedule(self.failure_policy.detection_delay,
-                                 self._arrive, request)
+            if self.resilience is not None:
+                self.resilience.handle_failure(request, "dead_node")
+            else:
+                self.engine.schedule(self.failure_policy.detection_delay,
+                                     self._arrive, request)
             return
         executed = route.substitute if route.substitute is not None \
             else request
         self._routes[executed.req_id] = route
         self.nodes[route.node_id].admit(executed, dispatch_latency=latency)
+        if self.resilience is not None:
+            self.resilience.on_admitted(request)
 
     # -- membership -----------------------------------------------------------
+
+    def _mark_down(self, node_id: int) -> None:
+        if self.alive[node_id]:
+            self.alive[node_id] = False
+            self.alive_count -= 1
+        self._down_since.setdefault(node_id, self.engine.now)
+
+    def _mark_up(self, node_id: int) -> None:
+        since = self._down_since.pop(node_id, None)
+        if since is not None:
+            self.downtime[node_id] += self.engine.now - since
+        if not self.alive[node_id]:
+            self.alive_count += 1
+        self.alive[node_id] = True
+
+    def _detect_failure(self, node_id: int) -> None:
+        """Deferred membership update of ``detection_mode='monitor'``."""
+        if self.nodes[node_id].failed:
+            self._mark_down(node_id)
 
     def fail_node(self, node_id: int) -> int:
         """Crash a node; restart its in-flight foreground requests
         elsewhere per the failure policy.  Returns the number of requests
         restarted.  Idempotent for already-dead nodes."""
-        if not self.alive[node_id]:
+        node = self.nodes[node_id]
+        if node.failed:
             return 0
-        self.alive[node_id] = False
-        self.alive_count -= 1
-        aborted, queued = self.nodes[node_id].fail()
+        self._draining.discard(node_id)
+        if self.alive[node_id]:
+            if (self.failure_policy.detection_mode == "monitor"
+                    and self.failure_policy.detection_delay > 0):
+                # The front end keeps routing to the corpse until detection;
+                # only the suspicion layer can close this window earlier.
+                self._down_since.setdefault(node_id, self.engine.now)
+                self.engine.schedule(self.failure_policy.detection_delay,
+                                     self._detect_failure, node_id)
+            else:
+                self._mark_down(node_id)
+        aborted, queued = node.fail()
         restarted = 0
         for request in [proc.request for proc in aborted] + queued:
             if request.req_id in self._background_ids:
                 self._background_ids.discard(request.req_id)
                 continue
             self._routes.pop(request.req_id, None)
-            if self.failure_policy.restart_inflight:
+            if self.resilience is not None:
+                if self.resilience.on_crash_abort(request):
+                    restarted += 1
+            elif self.failure_policy.restart_inflight:
                 self.engine.schedule(self.failure_policy.detection_delay,
                                      self._arrive, request)
                 restarted += 1
+            else:
+                self.lost_requests += 1
         self.restarted_requests += restarted
         return restarted
 
     def recover_node(self, node_id: int) -> None:
-        """Bring a crashed or standby node (back) into service."""
+        """Bring a crashed, drained, or standby node (back) into service."""
         self.nodes[node_id].recover()
-        if not self.alive[node_id]:
-            self.alive_count += 1
-        self.alive[node_id] = True
+        self._draining.discard(node_id)
+        self._mark_up(node_id)
 
     def retire_node(self, node_id: int) -> None:
         """Take an idle node out of service without the crash semantics
@@ -206,9 +306,31 @@ class Cluster:
             raise RuntimeError(
                 f"node {node_id} has in-flight work; use fail_node")
         self.nodes[node_id].failed = True
-        if self.alive[node_id]:
-            self.alive_count -= 1
-        self.alive[node_id] = False
+        self._mark_down(node_id)
+
+    def drain_node(self, node_id: int) -> int:
+        """Gracefully take a node out of service: stop routing new work to
+        it, let in-flight and backlogged requests finish, then retire it.
+
+        This is the non-destructive counterpart of :meth:`fail_node` for
+        recruitment reclaims and planned maintenance.  Returns the number
+        of requests still draining.  Idempotent for out-of-service nodes.
+        """
+        node = self.nodes[node_id]
+        if node.failed or node_id in self._draining:
+            return 0
+        self._mark_down(node_id)
+        if node.active == 0 and not node.backlog:
+            node.failed = True
+            return 0
+        self._draining.add(node_id)
+        return node.active + len(node.backlog)
+
+    def _finish_drain(self, node_id: int) -> None:
+        node = self.nodes[node_id]
+        if node.active == 0 and not node.backlog:
+            self._draining.discard(node_id)
+            node.failed = True
 
     def admit_background(self, request: Request, node_id: int) -> SimProcess:
         """Run a request on a node *outside* the measured workload.
@@ -226,6 +348,8 @@ class Cluster:
 
     def _on_complete(self, node: Node, proc: SimProcess) -> None:
         req_id = proc.request.req_id
+        if node.node_id in self._draining:
+            self._finish_drain(node.node_id)
         if req_id in self._background_ids:
             self._background_ids.discard(req_id)
             self.background_completed += 1
@@ -234,6 +358,8 @@ class Cluster:
         on_master = self.policy.is_master(proc.node_id)
         self.metrics.record(proc, route.remote, on_master)
         response = proc.finish_time - proc.request.arrival_time
+        if self.resilience is not None:
+            self.resilience.on_complete(proc.request, response)
         self.policy.on_complete(proc.request, response, on_master,
                                 proc.node_id)
 
@@ -278,3 +404,69 @@ class Cluster:
         times = [ev.time for _, _, ev in self.engine._heap
                  if not ev.cancelled and ev.fn == self._arrive]
         return max(times) if times else self.engine.now
+
+    # -- availability accounting ---------------------------------------------------
+
+    def pending_requests(self) -> int:
+        """Foreground requests scheduled but not yet on a node: future
+        arrivals, dispatch hops in flight, and backoff retries."""
+        fns = {self._arrive, self._admit}
+        if self.resilience is not None:
+            fns.add(self.resilience._retry)
+        return sum(1 for _, _, ev in self.engine._heap
+                   if not ev.cancelled and ev.fn in fns)
+
+    def conservation(self) -> Dict[str, int]:
+        """Account for every submitted request (the no-loss invariant).
+
+        ``balance`` is ``submitted - completed - dropped - lost - in_flight
+        - pending`` and must be zero at any virtual time: a request is
+        either done, accounted as failed, on a node, or in an event that
+        will deliver it.
+        """
+        mgr = self.resilience
+        completed = len(self.metrics)
+        dropped = mgr.total_dropped if mgr is not None else 0
+        in_flight = len(self._routes)
+        pending = self.pending_requests()
+        return {
+            "submitted": self.submitted,
+            "completed": completed,
+            "dropped": dropped,
+            "lost": self.lost_requests,
+            "in_flight": in_flight,
+            "pending": pending,
+            "balance": (self.submitted - completed - dropped
+                        - self.lost_requests - in_flight - pending),
+        }
+
+    def assert_conservation(self) -> None:
+        """Raise ``AssertionError`` if any request is unaccounted for."""
+        ledger = self.conservation()
+        if ledger["balance"] != 0:
+            raise AssertionError(f"request conservation violated: {ledger}")
+
+    def unavailability(self, horizon: Optional[float] = None) -> np.ndarray:
+        """Per-node fraction of ``[0, horizon]`` spent out of service."""
+        horizon = self.engine.now if horizon is None else horizon
+        if horizon <= 0:
+            return np.zeros(self.cfg.num_nodes)
+        down = self.downtime.copy()
+        for node_id, since in self._down_since.items():
+            down[node_id] += max(0.0, min(self.engine.now, horizon) - since)
+        return np.clip(down / horizon, 0.0, 1.0)
+
+    def availability(self, horizon: Optional[float] = None,
+                     slo_stretch: Optional[float] = None) -> AvailabilityReport:
+        """Summarise goodput, drops, retries, and unavailability.
+
+        Works with or without the resilience layer, so seed-behaviour and
+        resilient clusters can be compared on identical metrics.
+        """
+        mgr = self.resilience
+        if slo_stretch is None:
+            slo_stretch = mgr.cfg.slo_stretch if mgr is not None else 30.0
+        horizon = self.engine.now if horizon is None else horizon
+        report = AvailabilityReport.from_cluster(
+            self, horizon=horizon, slo_stretch=slo_stretch)
+        return report

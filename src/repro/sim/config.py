@@ -209,12 +209,24 @@ class MonitorConfig:
     #: Exponential smoothing factor applied to utilisation samples
     #: (1.0 = use the raw last-window value).
     smoothing: float = 0.7
+    #: Suspicion: a node whose ``rstat()`` probe has not succeeded for this
+    #: long is marked *suspect* and excluded from RSRC candidate sets even
+    #: before its crash is formally detected.
+    suspect_after: float = 1.0
+    #: Consecutive successful probes a suspect node must pass before it is
+    #: trusted again (recovered/recruited nodes report stale-idle load, so
+    #: immediately trusting them herds every dynamic request onto them).
+    probation_samples: int = 2
 
     def validate(self) -> None:
         if self.period <= 0:
             raise ValueError("period must be positive")
         if not 0.0 < self.smoothing <= 1.0:
             raise ValueError("smoothing must be in (0, 1]")
+        if self.suspect_after <= 0:
+            raise ValueError("suspect_after must be positive")
+        if self.probation_samples < 1:
+            raise ValueError("probation_samples must be >= 1")
 
 
 @dataclass

@@ -126,6 +126,31 @@ class CPU:
         self._occupied = 0
         self._last_proc = None
 
+    def abort(self, proc: SimProcess) -> bool:
+        """Drop one process (request deadline/cancellation).
+
+        Returns ``True`` if the process was running or queued here.  The
+        partial slice of a running victim is not charged — the same
+        approximation :meth:`abort_all` makes for crashes.
+        """
+        if self.current is proc:
+            if proc.slice_event is not None:
+                proc.slice_event.cancel()
+                proc.slice_event = None
+            self.current = None
+            if not self._dispatching:
+                self._dispatch()
+            return True
+        for level, queue in enumerate(self.queues):
+            try:
+                queue.remove(proc)
+            except ValueError:
+                continue
+            if not queue:
+                self._occupied &= ~(1 << level)
+            return True
+        return False
+
     # -- internals -----------------------------------------------------------
 
     def _preempt(self) -> None:

@@ -71,6 +71,24 @@ class Disk:
         self.current = None
         self.queue.clear()
 
+    def abort(self, proc: SimProcess) -> bool:
+        """Drop one process's pending burst (request cancellation).
+
+        Returns ``True`` if the process was in service or queued here.
+        """
+        if self.current is proc:
+            if self._current_event is not None:
+                self._current_event.cancel()
+                self._current_event = None
+            self.current = None
+            self._serve_next()
+            return True
+        try:
+            self.queue.remove(proc)
+        except ValueError:
+            return False
+        return True
+
     def _serve_next(self) -> None:
         if not self.queue:
             return

@@ -57,6 +57,7 @@ class Engine:
     >>> _ = eng.schedule(1.5, hits.append, "a")
     >>> _ = eng.schedule(0.5, hits.append, "b")
     >>> eng.run()
+    2
     >>> hits
     ['b', 'a']
     >>> eng.now

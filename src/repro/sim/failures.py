@@ -42,19 +42,44 @@ class FailurePolicy:
     #: Whether aborted in-flight requests are restarted at all (masters do
     #: this for slaves; a flat cluster relies on the client).
     restart_inflight: bool = True
+    #: How membership learns about crashes.  ``"switch"``: the front end
+    #: notices instantly (a connection-counting switch sees the dead TCP
+    #: endpoint) and only in-flight restarts wait ``detection_delay``.
+    #: ``"monitor"``: routing keeps targeting the corpse until
+    #: ``detection_delay`` elapses — the realistic window that the
+    #: suspicion layer (see :mod:`repro.sim.monitor`) exists to close.
+    detection_mode: str = "switch"
 
     def validate(self) -> None:
         if self.detection_delay < 0:
             raise ValueError("detection_delay must be >= 0")
         if self.client_retry_timeout <= 0:
             raise ValueError("client_retry_timeout must be positive")
+        if self.detection_mode not in ("switch", "monitor"):
+            raise ValueError(
+                f"detection_mode must be 'switch' or 'monitor', "
+                f"got {self.detection_mode!r}")
 
 
 class FailureInjector:
     """Schedules crash/recovery events against a cluster.
 
-    >>> # injector = FailureInjector(cluster)
-    >>> # injector.crash(node_id=5, at=10.0, duration=30.0)
+    >>> from repro.core.policies import FlatPolicy
+    >>> from repro.sim.cluster import Cluster
+    >>> from repro.sim.config import SimConfig
+    >>> cluster = Cluster(SimConfig(num_nodes=4), FlatPolicy(4))
+    >>> injector = FailureInjector(cluster)
+    >>> injector.crash(node_id=1, at=10.0, duration=30.0)
+    >>> injector.scheduled
+    [(10.0, 1, 30.0)]
+    >>> cluster.run(until=15.0) > 0
+    True
+    >>> bool(cluster.alive[1])
+    False
+    >>> cluster.run(until=45.0) > 0
+    True
+    >>> bool(cluster.alive[1])
+    True
     """
 
     def __init__(self, cluster: "Cluster"):
@@ -127,11 +152,20 @@ class RecruitmentSchedule:
         self.cluster.engine.schedule_at(at, self.cluster.recover_node,
                                         node_id)
 
-    def leave(self, node_id: int, at: float) -> None:
-        """Reclaim a pool node (graceful: in-flight work is restarted
-        elsewhere like a crash, since its owner wants it back)."""
+    def leave(self, node_id: int, at: float,
+              graceful: bool = False) -> None:
+        """Reclaim a pool node at virtual time ``at``.
+
+        ``graceful=False`` (the default, matching an owner pulling the
+        plug) evicts immediately: in-flight work is aborted and restarted
+        elsewhere like a crash.  ``graceful=True`` drains instead — the
+        node stops accepting new work, finishes what it has, then retires
+        (see :meth:`repro.sim.cluster.Cluster.drain_node`).
+        """
         self._check(node_id)
-        self.cluster.engine.schedule_at(at, self.cluster.fail_node, node_id)
+        action = (self.cluster.drain_node if graceful
+                  else self.cluster.fail_node)
+        self.cluster.engine.schedule_at(at, action, node_id)
 
     def join_all(self, at: float) -> None:
         for node_id in self.pool:
@@ -140,3 +174,133 @@ class RecruitmentSchedule:
     def _check(self, node_id: int) -> None:
         if node_id not in self.pool:
             raise ValueError(f"node {node_id} is not in the recruitment pool")
+
+
+# -- reproducible chaos scenarios -----------------------------------------------------
+
+
+@dataclass(slots=True)
+class ChaosScenario:
+    """A named, reproducible composition of failure modes.
+
+    A scenario bundles three independent stressors; zeros disable each:
+
+    * a Poisson **crash storm** (``crash_rate`` crashes/s, exponential
+      repair with mean ``crash_mttr``);
+    * **recruitment churn** — every ``churn_period`` seconds a rotating
+      ``churn_fraction`` of the slave tier is reclaimed (gracefully
+      drained or yanked) and rejoins half a period later;
+    * a **blackout** — ``blackout_fraction`` of the slave tier crashes
+      simultaneously at ``blackout_at`` for ``blackout_duration``.
+
+    The **overload burst** (``burst_factor``/``burst_start_frac``/
+    ``burst_duration_frac``) describes extra *workload*, not failures; the
+    experiment harness (:func:`repro.analysis.experiments.run_chaos`)
+    consumes it when generating the trace.
+
+    :meth:`apply` only schedules events — identical inputs (scenario,
+    cluster seed, rng seed, horizon) replay identically.
+    """
+
+    name: str
+    description: str = ""
+    crash_rate: float = 0.0
+    crash_mttr: float = 15.0
+    #: Crash storms normally spare the master tier (operators protect the
+    #: acceptors); set True to include masters in the victim pool.
+    crash_masters: bool = False
+    churn_fraction: float = 0.0
+    churn_period: float = 0.0
+    churn_graceful: bool = True
+    blackout_at: Optional[float] = None
+    blackout_duration: float = 10.0
+    blackout_fraction: float = 0.5
+    burst_factor: float = 1.0
+    burst_start_frac: float = 0.3
+    burst_duration_frac: float = 0.3
+
+    def validate(self) -> None:
+        if self.crash_rate < 0 or self.crash_mttr <= 0:
+            raise ValueError("crash_rate must be >= 0 and crash_mttr > 0")
+        if not 0.0 <= self.churn_fraction <= 1.0:
+            raise ValueError("churn_fraction must be in [0, 1]")
+        if self.churn_fraction > 0 and self.churn_period <= 0:
+            raise ValueError("churn needs a positive churn_period")
+        if self.blackout_at is not None:
+            if self.blackout_at < 0 or self.blackout_duration <= 0:
+                raise ValueError("blackout window must be non-negative "
+                                 "with positive duration")
+            if not 0.0 < self.blackout_fraction <= 1.0:
+                raise ValueError("blackout_fraction must be in (0, 1]")
+        if self.burst_factor < 1.0:
+            raise ValueError("burst_factor must be >= 1")
+        if not (0.0 <= self.burst_start_frac <= 1.0
+                and 0.0 <= self.burst_duration_frac <= 1.0):
+            raise ValueError("burst window fractions must be in [0, 1]")
+
+    def apply(self, cluster: "Cluster", horizon: float,
+              rng: np.random.Generator) -> FailureInjector:
+        """Schedule every failure event over ``[now, horizon]``."""
+        self.validate()
+        injector = FailureInjector(cluster)
+        n = cluster.cfg.num_nodes
+        masters = set(cluster.policy.master_ids)
+        slaves = [i for i in range(n) if i not in masters] or list(range(n))
+        if self.crash_rate > 0:
+            pool = list(range(n)) if self.crash_masters else slaves
+            injector.random_crashes(self.crash_rate, horizon,
+                                    self.crash_mttr, rng, nodes=pool)
+        if self.churn_fraction > 0 and self.churn_period > 0:
+            k = max(1, int(round(self.churn_fraction * len(slaves))))
+            down = self.churn_period / 2.0
+            t = self.churn_period
+            idx = 0
+            while t + down < horizon:
+                for j in range(k):
+                    victim = slaves[(idx + j) % len(slaves)]
+                    action = (cluster.drain_node if self.churn_graceful
+                              else cluster.fail_node)
+                    cluster.engine.schedule_at(t, action, victim)
+                    cluster.engine.schedule_at(t + down,
+                                               cluster.recover_node, victim)
+                idx = (idx + k) % len(slaves)
+                t += self.churn_period
+        if self.blackout_at is not None and self.blackout_at < horizon:
+            m = max(1, int(round(self.blackout_fraction * len(slaves))))
+            victims = rng.choice(len(slaves), size=m, replace=False)
+            for v in victims:
+                injector.crash(slaves[int(v)], at=self.blackout_at,
+                               duration=self.blackout_duration)
+        return injector
+
+    def burst_window(self, duration: float) -> Tuple[float, float]:
+        """The burst's absolute ``(start, end)`` within a trace."""
+        start = self.burst_start_frac * duration
+        return start, start + self.burst_duration_frac * duration
+
+
+#: Named scenarios for experiments/CLI — compositions of crash storms,
+#: recruitment churn, blackouts, and overload bursts.
+CHAOS_SCENARIOS = {
+    "crash-storm": ChaosScenario(
+        name="crash-storm",
+        description="Poisson slave crashes, exponential repair",
+        crash_rate=0.08, crash_mttr=12.0),
+    "recruitment-churn": ChaosScenario(
+        name="recruitment-churn",
+        description="a quarter of the slave tier cycles out every 20 s",
+        churn_fraction=0.25, churn_period=20.0, churn_graceful=True),
+    "overload-burst": ChaosScenario(
+        name="overload-burst",
+        description="3x arrival-rate burst over the middle of the run",
+        burst_factor=3.0, burst_start_frac=0.3, burst_duration_frac=0.3),
+    "storm-burst": ChaosScenario(
+        name="storm-burst",
+        description="crash storm and overload burst together",
+        crash_rate=0.06, crash_mttr=12.0,
+        burst_factor=2.5, burst_start_frac=0.3, burst_duration_frac=0.3),
+    "blackout": ChaosScenario(
+        name="blackout",
+        description="half the slave tier crashes at once mid-run",
+        blackout_at=30.0, blackout_duration=15.0, blackout_fraction=0.5),
+}

@@ -9,12 +9,15 @@ interval between arrival at the cluster and the end of processing.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 import numpy as np
 
 from repro.sim.process import SimProcess
 from repro.workload.request import RequestKind
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.cluster import Cluster
 
 
 @dataclass(slots=True)
@@ -27,6 +30,7 @@ class ClassStats:
     median_response: float
     p95_response: float
     mean_demand: float
+    p99_response: float = float("nan")
 
     @staticmethod
     def empty() -> "ClassStats":
@@ -131,6 +135,7 @@ class MetricsCollector:
                 median_response=float(np.median(r)),
                 p95_response=float(np.percentile(r, 95)),
                 mean_demand=float(d.mean()),
+                p99_response=float(np.percentile(r, 99)),
             )
 
         all_mask = np.ones(len(resp), dtype=bool)
@@ -144,6 +149,93 @@ class MetricsCollector:
             remote_dispatches=int(rem.sum()),
             master_dynamic=int((dyn_mask & mas).sum()),
             dynamic_total=int(dyn_mask.sum()),
+        )
+
+
+@dataclass(slots=True)
+class AvailabilityReport:
+    """Availability-centric summary of one run.
+
+    Unlike :class:`MetricsReport` (response-time quality of *completed*
+    requests), this accounts for the requests that did **not** complete:
+    drops by reason, retries, SLO violations, and how much of the horizon
+    each node spent out of service.  It is built from the cluster's own
+    counters, so it works identically for seed-behaviour clusters and
+    clusters running the resilience layer.
+    """
+
+    horizon: float
+    submitted: int
+    completed: int
+    #: Drops by reason (empty when no resilience layer is armed).
+    dropped: Dict[str, int]
+    #: Requests lost outright (crash, no restart, no resilience layer).
+    lost: int
+    retries: int
+    timeouts: int
+    #: Completions within the stretch SLO.
+    good: int
+    slo_violations: int
+    slo_stretch: float
+    p99_stretch: float
+    #: Per-node fraction of the horizon spent out of service.
+    unavailability: np.ndarray
+    #: ``conservation()['balance']`` at report time (0 = no request lost).
+    balance: int
+
+    @property
+    def total_dropped(self) -> int:
+        return sum(self.dropped.values())
+
+    @property
+    def goodput(self) -> float:
+        """SLO-satisfying completions per second of horizon."""
+        return self.good / self.horizon if self.horizon > 0 else 0.0
+
+    @property
+    def throughput(self) -> float:
+        return self.completed / self.horizon if self.horizon > 0 else 0.0
+
+    @property
+    def drop_rate(self) -> float:
+        if self.submitted == 0:
+            return 0.0
+        return (self.total_dropped + self.lost) / self.submitted
+
+    @property
+    def mean_unavailability(self) -> float:
+        return float(self.unavailability.mean()) \
+            if len(self.unavailability) else 0.0
+
+    @staticmethod
+    def from_cluster(cluster: "Cluster", horizon: float,
+                     slo_stretch: float) -> "AvailabilityReport":
+        col = cluster.metrics
+        arr = np.asarray(col.arrivals)
+        fin = np.asarray(col.finishes)
+        dem = np.asarray(col.demands)
+        if len(arr):
+            stretch = (fin - arr) / dem
+            good = int((stretch <= slo_stretch).sum())
+            violations = int(len(stretch) - good)
+            p99 = float(np.percentile(stretch, 99))
+        else:
+            good, violations, p99 = 0, 0, float("nan")
+        mgr = cluster.resilience
+        return AvailabilityReport(
+            horizon=horizon,
+            submitted=cluster.submitted,
+            completed=len(col),
+            dropped=dict(mgr.drops) if mgr is not None else {},
+            lost=cluster.lost_requests,
+            retries=mgr.retries if mgr is not None else 0,
+            timeouts=mgr.timeouts if mgr is not None else 0,
+            good=good,
+            slo_violations=violations,
+            slo_stretch=slo_stretch,
+            p99_stretch=p99,
+            unavailability=cluster.unavailability(horizon),
+            balance=cluster.conservation()["balance"],
         )
 
 

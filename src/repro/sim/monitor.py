@@ -26,7 +26,8 @@ class LoadMonitor:
 
     __slots__ = ("engine", "cfg", "nodes", "cpu_idle", "disk_avail",
                  "_last_cpu_busy", "_last_disk_busy", "_last_sample_time",
-                 "samples")
+                 "samples", "suspect", "any_suspect", "_last_probe_ok",
+                 "_ok_streak")
 
     def __init__(self, engine: Engine, cfg: MonitorConfig, nodes: Sequence[Node]):
         self.engine = engine
@@ -41,6 +42,13 @@ class LoadMonitor:
         self._last_disk_busy = np.zeros(n)
         self._last_sample_time = engine.now
         self.samples = 0
+        #: Suspicion flags: a probe failed recently, or the node is still on
+        #: post-recovery probation and its load data cannot be trusted.
+        self.suspect = np.zeros(n, dtype=bool)
+        #: O(1) fast-path mirror of ``suspect.any()``.
+        self.any_suspect = False
+        self._last_probe_ok = np.full(n, engine.now)
+        self._ok_streak = np.full(n, cfg.probation_samples, dtype=np.intp)
 
     def start(self) -> None:
         """Schedule the first sampling tick."""
@@ -49,9 +57,14 @@ class LoadMonitor:
     def _tick(self) -> None:
         now = self.engine.now
         window = now - self._last_sample_time
-        if window > 0:
-            s = self.cfg.smoothing
-            for i, node in enumerate(self.nodes):
+        s = self.cfg.smoothing
+        for i, node in enumerate(self.nodes):
+            if node.failed:
+                # The rstat() probe fails: no sample, immediate suspicion.
+                self._ok_streak[i] = 0
+                self.suspect[i] = True
+                continue
+            if window > 0:
                 cpu_busy = node.cpu.busy_time
                 disk_busy = node.disk.busy_time
                 cpu_util = (cpu_busy - self._last_cpu_busy[i]) / window
@@ -62,6 +75,18 @@ class LoadMonitor:
                 avail = min(1.0, max(0.0, 1.0 - disk_util))
                 self.cpu_idle[i] = s * idle + (1.0 - s) * self.cpu_idle[i]
                 self.disk_avail[i] = s * avail + (1.0 - s) * self.disk_avail[i]
+            self._last_probe_ok[i] = now
+            self._ok_streak[i] += 1
+            if (self.suspect[i]
+                    and self._ok_streak[i] >= self.cfg.probation_samples):
+                self.suspect[i] = False
+        # Staleness net: catches probes that stopped arriving for reasons
+        # other than a formal failure (belt and braces for long periods).
+        stale = (now - self._last_probe_ok) > self.cfg.suspect_after
+        if stale.any():
+            self.suspect[stale] = True
+            self._ok_streak[stale] = 0
+        self.any_suspect = bool(self.suspect.any())
         self._last_sample_time = now
         self.samples += 1
         self.engine.schedule(self.cfg.period, self._tick)

@@ -204,9 +204,33 @@ class Node:
             request, latency = self.backlog.popleft()
             self._start(request, latency)
 
+    def abort_request(self, req_id: int) -> bool:
+        """Abort one backlogged or in-flight request (deadline expiry).
+
+        The victim's resources are released and its worker slot freed (which
+        may start a backlogged request); no completion callback fires.
+        Returns ``True`` if the request was found on this node.
+        """
+        for idx, (request, _) in enumerate(self.backlog):
+            if request.req_id == req_id:
+                del self.backlog[idx]
+                return True
+        proc = next((p for p in self.procs if p.request.req_id == req_id),
+                    None)
+        if proc is None:
+            return False
+        self.cpu.abort(proc)
+        self.disk.abort(proc)
+        self.memory.release(proc)
+        proc.slice_event = None
+        self.procs.discard(proc)
+        self.active -= 1
+        self._release_slot()
+        return True
+
     # -- failure / recovery -------------------------------------------------------
 
-    def fail(self) -> List[SimProcess]:
+    def fail(self) -> Tuple[List[SimProcess], List[Request]]:
         """Crash the node: abort all in-flight work and reject admissions.
 
         Returns ``(aborted_processes, backlogged_requests)`` so the

@@ -27,6 +27,20 @@ _NODE_METRICS = {
     "memory_pressure": lambda node: node.memory.pressure,
 }
 
+#: Per-node availability flags captured from the cluster, not the node.
+_CLUSTER_NODE_METRICS = {
+    "alive": lambda cluster, i: float(cluster.alive[i]),
+    "suspect": lambda cluster, i: float(cluster.monitor.suspect[i]),
+}
+
+#: Cluster-wide resilience counters (0 when no resilience layer is armed).
+_RESILIENCE_METRICS = {
+    "dropped": lambda mgr: mgr.total_dropped,
+    "retries": lambda mgr: mgr.retries,
+    "timeouts": lambda mgr: mgr.timeouts,
+    "shed_level": lambda mgr: mgr.shed_level,
+}
+
 
 class ClusterProbe:
     """Periodic sampler of cluster state.
@@ -52,7 +66,11 @@ class ClusterProbe:
         self.until = until
         self.times: List[float] = []
         self._node_samples: Dict[str, List[List[float]]] = {
-            name: [] for name in _NODE_METRICS
+            name: []
+            for name in (*_NODE_METRICS, *_CLUSTER_NODE_METRICS)
+        }
+        self._scalar_samples: Dict[str, List[float]] = {
+            name: [] for name in _RESILIENCE_METRICS
         }
         self._theta_caps: List[float] = []
         self._completed: List[int] = []
@@ -74,6 +92,14 @@ class ClusterProbe:
         for name, extract in _NODE_METRICS.items():
             self._node_samples[name].append(
                 [float(extract(node)) for node in self.cluster.nodes])
+        for name, extract in _CLUSTER_NODE_METRICS.items():
+            self._node_samples[name].append(
+                [extract(self.cluster, i)
+                 for i in range(self.cluster.cfg.num_nodes)])
+        mgr = self.cluster.resilience
+        for name, extract in _RESILIENCE_METRICS.items():
+            self._scalar_samples[name].append(
+                float(extract(mgr)) if mgr is not None else 0.0)
         cap = getattr(self.cluster.policy, "theta_cap", None)
         self._theta_caps.append(float("nan") if cap is None else float(cap))
         self._completed.append(len(self.cluster.metrics))
@@ -86,9 +112,23 @@ class ClusterProbe:
         if metric not in self._node_samples:
             raise KeyError(
                 f"unknown metric {metric!r}; known: "
-                f"{sorted(self._node_samples)} (+ 'theta_cap', 'completed')"
+                f"{sorted(self._node_samples)} (+ "
+                f"{sorted(self._scalar_samples)}, 'theta_cap', 'completed')"
             )
         return np.asarray(self._node_samples[metric])
+
+    def scalar_series(self, metric: str) -> np.ndarray:
+        """(samples,) array for one cluster-wide resilience counter.
+
+        Counters sample as 0 when the cluster runs without a resilience
+        layer, so plots stay comparable across configurations.
+        """
+        if metric not in self._scalar_samples:
+            raise KeyError(
+                f"unknown scalar metric {metric!r}; known: "
+                f"{sorted(self._scalar_samples)}"
+            )
+        return np.asarray(self._scalar_samples[metric])
 
     @property
     def time(self) -> np.ndarray:

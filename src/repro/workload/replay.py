@@ -14,7 +14,9 @@ from repro.core.policies import Policy
 from repro.core.sampling import DemandSampler
 from repro.sim.cluster import Cluster
 from repro.sim.config import SimConfig
+from repro.sim.failures import FailurePolicy
 from repro.sim.metrics import MetricsReport
+from repro.sim.resilience import ResilienceConfig
 from repro.workload.request import Request
 
 
@@ -38,6 +40,8 @@ def replay(
     warmup_fraction: float = 0.1,
     drain: float = 30.0,
     max_events: Optional[int] = None,
+    failure_policy: Optional[FailurePolicy] = None,
+    resilience: Optional[ResilienceConfig] = None,
 ) -> ReplayResult:
     """Run one trace through one cluster configuration.
 
@@ -54,12 +58,16 @@ def replay(
         fill-up transient).
     drain:
         Virtual seconds allowed past the last arrival for queues to empty.
+    failure_policy, resilience:
+        Passed through to :class:`Cluster` (crash semantics and the
+        request-path resilience layer; both default off).
     """
     if not requests:
         raise ValueError("empty trace")
     if not 0.0 <= warmup_fraction < 1.0:
         raise ValueError("warmup_fraction must be in [0, 1)")
-    cluster = Cluster(cfg, policy)
+    cluster = Cluster(cfg, policy, failure_policy=failure_policy,
+                      resilience=resilience)
     first = min(q.arrival_time for q in requests)
     last = max(q.arrival_time for q in requests)
     warmup = first + (last - first) * warmup_fraction
