@@ -6,6 +6,11 @@ paper-reproduction report.  Scale is controlled by ``REPRO_BENCH_SCALE``:
 
 * ``quick`` (default) — minutes: trimmed grids, 32-node clusters.
 * ``full``  — the whole DESIGN.md §4 grid including 128-node clusters.
+
+A bad ``REPRO_BENCH_SCALE`` is reported through ``pytest.UsageError``
+(clean one-line error, exit code 4) rather than an import-time traceback:
+raising here at import would abort collection with an INTERNALERROR-style
+dump and, under ``-p no:cacheprovider``-less runs, poison the cache.
 """
 
 from __future__ import annotations
@@ -14,11 +19,23 @@ import os
 
 import pytest
 
-SCALE = os.environ.get("REPRO_BENCH_SCALE", "quick").lower()
-if SCALE not in ("quick", "full"):
-    raise ValueError(f"REPRO_BENCH_SCALE must be quick|full, got {SCALE!r}")
+_VALID_SCALES = ("quick", "full")
+
+_RAW_SCALE = os.environ.get("REPRO_BENCH_SCALE", "quick").lower()
+
+#: Validated in :func:`pytest_configure`; benchmarks importing ``FULL``
+#: before then see the quick-scale fallback, but no test runs with it —
+#: a bad value aborts the session first.
+SCALE = _RAW_SCALE if _RAW_SCALE in _VALID_SCALES else "quick"
 
 FULL = SCALE == "full"
+
+
+def pytest_configure(config: pytest.Config) -> None:
+    if _RAW_SCALE not in _VALID_SCALES:
+        raise pytest.UsageError(
+            f"REPRO_BENCH_SCALE must be one of {'|'.join(_VALID_SCALES)}, "
+            f"got {_RAW_SCALE!r}")
 
 
 def emit(text: str) -> None:

@@ -19,6 +19,10 @@ Commands
     the availability comparison.
 ``calibrate``
     Check the clean simulator against M/M/1.
+``bench``
+    Run the perf suite (``--jobs N`` fans the grids over worker
+    processes) and emit a machine-readable ``BENCH_<timestamp>.json``
+    record; gates against ``benchmarks/baseline.json`` when present.
 """
 
 from __future__ import annotations
@@ -34,6 +38,7 @@ from repro.analysis.validation import mm1_calibration
 from repro.core.policies import make_policy
 from repro.core.queuing import Workload, flat_stretch
 from repro.core.theorem import optimal_masters, theta_bounds
+from repro.perf.bench import add_bench_parser
 from repro.sim.config import paper_sim_config
 from repro.sim.failures import CHAOS_SCENARIOS
 from repro.workload.generator import generate_trace, trace_statistics
@@ -250,6 +255,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--duration", type=float, default=10.0)
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=cmd_calibrate)
+
+    add_bench_parser(sub)
 
     return parser
 

@@ -7,7 +7,7 @@ EXPERIMENTS.md can show them without a plotting stack.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 _BLOCKS = " ▏▎▍▌▋▊▉█"
 

@@ -21,7 +21,6 @@ import numpy as np
 
 from repro.core.policies import FlatPolicy, MSPolicy
 from repro.core.queuing import Workload, flat_stretch, ms_stretch
-from repro.core.reservation import ReservationConfig
 from repro.sim.config import SimConfig
 from repro.workload.replay import replay
 from repro.workload.request import Request, RequestKind

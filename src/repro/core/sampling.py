@@ -13,7 +13,7 @@ noise, since a real profiler never sees perfectly clean numbers) — or
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, Optional
 
 import numpy as np

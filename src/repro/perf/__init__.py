@@ -1,0 +1,16 @@
+"""Performance subsystem: parallel experiment runner and perf ledger.
+
+* :mod:`repro.perf.pool` — crash-isolated multiprocessing pool with
+  chunked self-scheduling, used to fan independent experiment
+  configurations across cores.
+* :mod:`repro.perf.record` — the ``BENCH_<timestamp>.json`` perf-ledger
+  schema, plus baseline load/compare/refresh for the CI gate.
+* :mod:`repro.perf.bench` — the ``python -m repro bench`` harness.
+
+See ``docs/performance.md`` for the architecture and the ledger schema.
+"""
+
+from repro.perf.pool import TaskResult, run_tasks, run_values
+from repro.perf.record import BenchRecord
+
+__all__ = ["TaskResult", "run_tasks", "run_values", "BenchRecord"]

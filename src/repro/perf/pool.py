@@ -1,0 +1,253 @@
+"""Crash-isolated process pool for independent experiment configurations.
+
+The experiment grids (Fig 4/5, chaos sweeps, the bench harness) are
+embarrassingly parallel: each configuration replays a private cluster and
+returns a picklable result.  This module fans such configurations out over
+``multiprocessing`` workers with three properties the stdlib pools do not
+give us together:
+
+* **Crash isolation.**  A worker that dies mid-task (segfault, OOM kill,
+  ``os._exit``) fails *that* configuration — the pool respawns a
+  replacement and the run completes.  ``concurrent.futures``'
+  ``ProcessPoolExecutor`` instead poisons the whole pool with
+  ``BrokenProcessPool``.
+* **Chunked self-scheduling ("work stealing").**  Tasks are handed out
+  ``chunk_size`` at a time as workers finish, so a slow configuration
+  (128-node cluster) does not leave the other workers idle behind a static
+  partition.
+* **Determinism.**  Results come back in input order, and the payloads
+  carry their own seeds, so ``jobs=1`` and ``jobs=N`` produce bit-identical
+  outputs (see ``tests/test_perf_pool.py``).
+
+The worker callable must be a module-level function (picklable by
+reference) taking one payload argument; payloads and results must pickle.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import queue as queue_mod
+import traceback
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional, Sequence
+
+#: How long the supervisor waits on the result queue before checking
+#: whether any worker died (seconds).
+_LIVENESS_POLL = 0.2
+
+
+@dataclass(slots=True)
+class TaskResult:
+    """Outcome of one payload: a value, or an error description."""
+
+    index: int
+    value: Any = None
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    def unwrap(self) -> Any:
+        """The value, raising ``RuntimeError`` if the task failed."""
+        if self.error is not None:
+            raise RuntimeError(f"task {self.index} failed: {self.error}")
+        return self.value
+
+
+def _pool_context() -> mp.context.BaseContext:
+    """Fork where available (cheap, inherits the warmed interpreter);
+    spawn elsewhere."""
+    methods = mp.get_all_start_methods()
+    return mp.get_context("fork" if "fork" in methods else "spawn")
+
+
+def _run_inline(fn: Callable[[Any], Any],
+                payloads: Sequence[Any]) -> List[TaskResult]:
+    results = []
+    for i, payload in enumerate(payloads):
+        try:
+            results.append(TaskResult(index=i, value=fn(payload)))
+        except Exception as exc:
+            results.append(TaskResult(
+                index=i, error="".join(traceback.format_exception_only(exc)).strip()))
+    return results
+
+
+def _worker_main(worker_id: int, fn: Callable[[Any], Any],
+                 payloads: Sequence[Any], task_q: Any, result_q: Any) -> None:
+    """Worker loop: execute assigned chunks, report per-index results.
+
+    Assignments arrive as lists of payload indices; ``None`` is the stop
+    sentinel.  Every index gets its own ``ok``/``err`` message, so if the
+    process dies mid-chunk the supervisor knows exactly which indices were
+    lost.
+    """
+    while True:
+        chunk = task_q.get()
+        if chunk is None:
+            break
+        for idx in chunk:
+            try:
+                value = fn(payloads[idx])
+            except Exception as exc:
+                result_q.put(("err", worker_id, idx,
+                              "".join(traceback.format_exception_only(exc)).strip()))
+            else:
+                result_q.put(("ok", worker_id, idx, value))
+        result_q.put(("next", worker_id))
+
+
+class _Worker:
+    """Supervisor-side handle: the process, its private task queue, and the
+    set of indices assigned but not yet reported back."""
+
+    __slots__ = ("process", "task_q", "outstanding")
+
+    def __init__(self, ctx: mp.context.BaseContext, worker_id: int,
+                 fn: Callable[[Any], Any], payloads: Sequence[Any],
+                 result_q: Any):
+        self.task_q = ctx.Queue()
+        self.outstanding: set = set()
+        self.process = ctx.Process(
+            target=_worker_main,
+            args=(worker_id, fn, payloads, self.task_q, result_q),
+            daemon=True,
+        )
+        self.process.start()
+
+
+def run_tasks(
+    fn: Callable[[Any], Any],
+    payloads: Sequence[Any],
+    jobs: int = 1,
+    *,
+    chunk_size: int = 1,
+) -> List[TaskResult]:
+    """Apply ``fn`` to every payload, ``jobs`` processes at a time.
+
+    Returns one :class:`TaskResult` per payload **in input order**.  A
+    payload whose execution raises records the exception text; a payload
+    whose worker process dies records a crash error — either way the
+    remaining payloads still run.
+
+    ``jobs <= 1`` executes inline in this process (no multiprocessing at
+    all), which is the reference the determinism tests compare against.
+    """
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if chunk_size < 1:
+        raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+    payloads = list(payloads)
+    n = len(payloads)
+    if jobs == 1 or n <= 1:
+        return _run_inline(fn, payloads)
+    jobs = min(jobs, n)
+
+    ctx = _pool_context()
+    result_q = ctx.Queue()
+    chunks = [list(range(start, min(start + chunk_size, n)))
+              for start in range(0, n, chunk_size)]
+    next_chunk = 0
+
+    results: List[Optional[TaskResult]] = [None] * n
+    remaining = n
+    workers: dict = {}
+    next_worker_id = 0
+
+    def assign(worker: _Worker) -> None:
+        nonlocal next_chunk
+        if next_chunk < len(chunks):
+            chunk = chunks[next_chunk]
+            next_chunk += 1
+            worker.outstanding.update(chunk)
+            worker.task_q.put(chunk)
+        else:
+            worker.task_q.put(None)
+
+    def spawn() -> None:
+        nonlocal next_worker_id
+        worker_id = next_worker_id
+        next_worker_id += 1
+        worker = _Worker(ctx, worker_id, fn, payloads, result_q)
+        workers[worker_id] = worker
+        assign(worker)
+
+    for _ in range(jobs):
+        spawn()
+
+    def handle(msg: tuple) -> None:
+        nonlocal remaining
+        kind, worker_id = msg[0], msg[1]
+        worker = workers.get(worker_id)
+        if kind == "next":
+            if worker is not None:
+                assign(worker)
+            return
+        _, _, idx, payload = msg
+        if worker is not None:
+            worker.outstanding.discard(idx)
+        if results[idx] is not None:
+            return  # already marked crashed; the late message loses
+        if kind == "ok":
+            results[idx] = TaskResult(index=idx, value=payload)
+        else:
+            results[idx] = TaskResult(index=idx, error=payload)
+        remaining -= 1
+
+    def reap_dead() -> None:
+        nonlocal remaining
+        dead = [(wid, w) for wid, w in workers.items()
+                if not w.process.is_alive()]
+        if not dead:
+            return
+        # A dying worker may have results still buffered in the queue's
+        # feeder thread; drain before declaring its assignments lost.
+        while True:
+            try:
+                handle(result_q.get(timeout=_LIVENESS_POLL))
+            except queue_mod.Empty:
+                break
+        for worker_id, worker in dead:
+            exitcode = worker.process.exitcode
+            lost = sorted(worker.outstanding)
+            del workers[worker_id]
+            for idx in lost:
+                if results[idx] is None:
+                    results[idx] = TaskResult(
+                        index=idx,
+                        error=(f"worker process died (exitcode={exitcode}) "
+                               f"while running this task"),
+                    )
+                    remaining -= 1
+            if remaining > 0:
+                spawn()  # keep the pool at strength
+
+    try:
+        while remaining > 0:
+            try:
+                handle(result_q.get(timeout=_LIVENESS_POLL))
+            except queue_mod.Empty:
+                reap_dead()
+    finally:
+        for worker in workers.values():
+            worker.task_q.put(None)
+        for worker in workers.values():
+            worker.process.join(timeout=5.0)
+            if worker.process.is_alive():
+                worker.process.terminate()
+
+    return [r for r in results if r is not None]
+
+
+def run_values(
+    fn: Callable[[Any], Any],
+    payloads: Sequence[Any],
+    jobs: int = 1,
+    *,
+    chunk_size: int = 1,
+) -> List[Any]:
+    """Like :func:`run_tasks` but unwraps values, raising on the first
+    failed task (with its original error text)."""
+    return [r.unwrap() for r in run_tasks(fn, payloads, jobs,
+                                          chunk_size=chunk_size)]

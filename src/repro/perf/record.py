@@ -1,0 +1,161 @@
+"""Machine-readable perf ledger: ``BENCH_<timestamp>.json``.
+
+Every ``python -m repro bench`` run emits one record so the repo
+accumulates a benchmark trajectory, and CI can gate on regressions
+against a committed baseline (``benchmarks/baseline.json``).
+
+Record schema (``"schema": "repro-bench/1"``)::
+
+    {
+      "schema": "repro-bench/1",
+      "created": "2026-08-07T12:34:56Z",     # UTC, second resolution
+      "scale": "quick" | "full",
+      "jobs": 2,
+      "python": "3.11.7",
+      "platform": "Linux-...",
+      "config_fingerprint": "9f2c...",       # sha256 over the default
+                                             # SimConfig + workload grid
+      "engine_events_per_sec": 803891.0,     # kernel micro-throughput
+      "peak_rss_kb": 181932,                 # self + children high-water
+      "figures": {                           # wall seconds per stage
+        "fig4-quick": {"wall_s": 3.21, "configs": 4, "jobs": 2},
+        ...
+      },
+      "total_wall_s": 5.67
+    }
+
+The baseline file stores the subset used for gating (events/sec plus the
+figure wall times) and is refreshed with ``repro bench --update-baseline``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import platform
+import resource
+import sys
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Dict, Optional, Tuple
+
+SCHEMA = "repro-bench/1"
+
+#: Allowed relative slowdown of events/sec before the gate fails (20%).
+DEFAULT_TOLERANCE = 0.20
+
+
+@dataclass(slots=True)
+class BenchRecord:
+    """One bench run's measurements (see module docstring for the schema)."""
+
+    scale: str
+    jobs: int
+    engine_events_per_sec: float
+    figures: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    total_wall_s: float = 0.0
+    config_fingerprint: str = ""
+    created: str = ""
+    python: str = ""
+    platform: str = ""
+    peak_rss_kb: int = 0
+    schema: str = SCHEMA
+
+    def finalize(self) -> "BenchRecord":
+        """Stamp environment fields just before writing."""
+        self.created = time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
+        self.python = platform.python_version()
+        self.platform = platform.platform()
+        self.peak_rss_kb = peak_rss_kb()
+        return self
+
+    def to_json(self) -> str:
+        return json.dumps(asdict(self), indent=2, sort_keys=True) + "\n"
+
+
+def peak_rss_kb() -> int:
+    """High-water resident set size of this process and its (reaped)
+    children, in KiB.  ``ru_maxrss`` is KiB on Linux, bytes on macOS."""
+    divisor = 1024 if sys.platform == "darwin" else 1
+    own = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    kids = resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss
+    return int(max(own, kids) // divisor)
+
+
+def config_fingerprint(parts: Dict[str, object]) -> str:
+    """Stable sha256 over the configuration that shaped the run, so two
+    records are only comparable when their fingerprints match."""
+    blob = json.dumps(parts, sort_keys=True, default=repr).encode()
+    return hashlib.sha256(blob).hexdigest()[:16]
+
+
+def write_record(record: BenchRecord, out_dir: Path) -> Path:
+    """Write ``BENCH_<timestamp>.json`` into ``out_dir`` and return it."""
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    stamp = record.created.replace("-", "").replace(":", "")
+    path = out_dir / f"BENCH_{stamp}.json"
+    path.write_text(record.to_json())
+    return path
+
+
+# -- baseline gating ---------------------------------------------------------
+
+
+def baseline_from_record(record: BenchRecord) -> Dict[str, object]:
+    """The committed-baseline subset of a record."""
+    return {
+        "schema": SCHEMA,
+        "created": record.created,
+        "scale": record.scale,
+        "config_fingerprint": record.config_fingerprint,
+        "engine_events_per_sec": record.engine_events_per_sec,
+        "figures": {name: fig["wall_s"]
+                    for name, fig in record.figures.items()},
+    }
+
+
+def write_baseline(record: BenchRecord, path: Path) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(baseline_from_record(record), indent=2,
+                               sort_keys=True) + "\n")
+    return path
+
+
+def load_baseline(path: Path) -> Optional[Dict[str, object]]:
+    path = Path(path)
+    if not path.exists():
+        return None
+    return json.loads(path.read_text())
+
+
+def compare_to_baseline(
+    record: BenchRecord,
+    baseline: Dict[str, object],
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> Tuple[bool, str]:
+    """Gate: does this record's events/sec hold up against the baseline?
+
+    Returns ``(ok, message)``.  Only the engine throughput gates — figure
+    wall times are reported for trend reading but depend too heavily on
+    host load to fail CI on.  Records with a different fingerprint or
+    scale than the baseline are incomparable and pass with a note.
+    """
+    base_eps = float(baseline.get("engine_events_per_sec", 0.0))
+    if base_eps <= 0.0:
+        return True, "baseline has no events/sec; nothing to compare"
+    if baseline.get("scale") != record.scale:
+        return True, (f"baseline scale {baseline.get('scale')!r} != run "
+                      f"scale {record.scale!r}; skipping comparison")
+    if baseline.get("config_fingerprint") != record.config_fingerprint:
+        return True, ("config fingerprint changed since the baseline was "
+                      "recorded; refresh it with --update-baseline")
+    ratio = record.engine_events_per_sec / base_eps
+    message = (f"engine: {record.engine_events_per_sec:,.0f} ev/s vs "
+               f"baseline {base_eps:,.0f} ev/s ({ratio:.2f}x, "
+               f"tolerance -{tolerance:.0%})")
+    if ratio < 1.0 - tolerance:
+        return False, "PERF REGRESSION: " + message
+    return True, message

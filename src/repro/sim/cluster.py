@@ -144,6 +144,11 @@ class Cluster:
         #: in a node's listen backlog before any process exists for it).
         self._routes: Dict[int, Route] = {}
         self._background_ids: set[int] = set()
+        #: Bound callbacks cached once: the request path schedules these on
+        #: every arrival/hop, and attribute access would otherwise build a
+        #: fresh bound-method object per event.
+        self._arrive_cb = self._arrive
+        self._admit_cb = self._admit
         self.submitted = 0
         self.background_completed = 0
         self.failure_policy = failure_policy or FailurePolicy()
@@ -170,15 +175,19 @@ class Cluster:
 
     def submit(self, request: Request) -> None:
         """Schedule one request's arrival."""
-        self.engine.schedule_at(request.arrival_time, self._arrive, request)
+        self.engine.call_at(request.arrival_time, self._arrive_cb, request)
         self.submitted += 1
 
     def submit_many(self, requests: Iterable[Request]) -> int:
-        """Schedule a whole trace.  Returns the number of requests queued."""
-        n = 0
-        for req in requests:
-            self.submit(req)
-            n += 1
+        """Schedule a whole trace.  Returns the number of requests queued.
+
+        Batched through :meth:`Engine.call_at_many`: one C-level extend and
+        a single deferred sort instead of one queue insertion per request.
+        """
+        arrive = self._arrive_cb
+        n = self.engine.call_at_many(
+            (req.arrival_time, arrive, (req,)) for req in requests)
+        self.submitted += n
         return n
 
     # -- arrival / completion ---------------------------------------------------
@@ -208,14 +217,16 @@ class Cluster:
             if mgr is not None:
                 mgr.handle_failure(request, "dead_node")
             else:
-                self.engine.schedule(self.failure_policy.client_retry_timeout,
-                                     self._arrive, request)
+                self.engine.call_later(
+                    self.failure_policy.client_retry_timeout,
+                    self._arrive_cb, request)
             return
         latency = self.cfg.network.frontend_latency + route.extra_latency
         if route.remote:
             latency += self.cfg.network.remote_cgi_latency
         if latency > 0.0:
-            self.engine.schedule(latency, self._admit, request, route, latency)
+            self.engine.call_later(latency, self._admit_cb, request, route,
+                                   latency)
         else:
             self._admit(request, route, 0.0)
 
@@ -225,8 +236,8 @@ class Cluster:
             if self.resilience is not None:
                 self.resilience.handle_failure(request, "dead_node")
             else:
-                self.engine.schedule(self.failure_policy.detection_delay,
-                                     self._arrive, request)
+                self.engine.call_later(self.failure_policy.detection_delay,
+                                       self._arrive_cb, request)
             return
         executed = route.substitute if route.substitute is not None \
             else request
@@ -285,8 +296,8 @@ class Cluster:
                 if self.resilience.on_crash_abort(request):
                     restarted += 1
             elif self.failure_policy.restart_inflight:
-                self.engine.schedule(self.failure_policy.detection_delay,
-                                     self._arrive, request)
+                self.engine.call_later(self.failure_policy.detection_delay,
+                                       self._arrive_cb, request)
                 restarted += 1
             else:
                 self.lost_requests += 1
@@ -401,8 +412,8 @@ class Cluster:
 
     def metrics_last_arrival(self) -> float:
         """Latest scheduled arrival time (for drain sizing)."""
-        times = [ev.time for _, _, ev in self.engine._heap
-                 if not ev.cancelled and ev.fn == self._arrive]
+        arrive = self._arrive_cb
+        times = [t for t, fn in self.engine.iter_pending() if fn == arrive]
         return max(times) if times else self.engine.now
 
     # -- availability accounting ---------------------------------------------------
@@ -410,11 +421,10 @@ class Cluster:
     def pending_requests(self) -> int:
         """Foreground requests scheduled but not yet on a node: future
         arrivals, dispatch hops in flight, and backoff retries."""
-        fns = {self._arrive, self._admit}
+        fns = {self._arrive_cb, self._admit_cb}
         if self.resilience is not None:
             fns.add(self.resilience._retry)
-        return sum(1 for _, _, ev in self.engine._heap
-                   if not ev.cancelled and ev.fn in fns)
+        return sum(1 for _, fn in self.engine.iter_pending() if fn in fns)
 
     def conservation(self) -> Dict[str, int]:
         """Account for every submitted request (the no-loss invariant).

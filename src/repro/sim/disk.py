@@ -34,7 +34,7 @@ class Disk:
     """
 
     __slots__ = ("engine", "cfg", "on_burst_done", "queue", "current",
-                 "busy_time", "slices_served", "_current_event")
+                 "busy_time", "slices_served", "_current_event", "_slice_cb")
 
     def __init__(self, engine: Engine, cfg: DiskConfig,
                  on_burst_done: Callable[[SimProcess], None]):
@@ -46,6 +46,8 @@ class Disk:
         self.busy_time = 0.0
         self.slices_served = 0
         self._current_event = None
+        # Cached bound callback: scheduled once per disk slice.
+        self._slice_cb = self._on_slice_end
 
     def submit(self, proc: SimProcess) -> None:
         """Queue the process's current I/O burst (``proc.burst_remaining``)."""
@@ -96,7 +98,7 @@ class Disk:
         slice_len = min(self.cfg.slice_time, proc.burst_remaining)
         self.current = proc
         self._current_event = self.engine.schedule(
-            slice_len, self._on_slice_end, proc, slice_len)
+            slice_len, self._slice_cb, proc, slice_len)
 
     def _on_slice_end(self, proc: SimProcess, slice_len: float) -> None:
         assert proc is self.current

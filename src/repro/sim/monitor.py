@@ -52,7 +52,7 @@ class LoadMonitor:
 
     def start(self) -> None:
         """Schedule the first sampling tick."""
-        self.engine.schedule(self.cfg.period, self._tick)
+        self.engine.call_later(self.cfg.period, self._tick)
 
     def _tick(self) -> None:
         now = self.engine.now
@@ -89,4 +89,4 @@ class LoadMonitor:
         self.any_suspect = bool(self.suspect.any())
         self._last_sample_time = now
         self.samples += 1
-        self.engine.schedule(self.cfg.period, self._tick)
+        self.engine.call_later(self.cfg.period, self._tick)

@@ -49,7 +49,8 @@ class Node:
     __slots__ = ("engine", "cfg", "node_id", "rng", "on_complete",
                  "cpu", "disk", "memory", "active", "admitted", "completed",
                  "static_misses", "cpu_speed", "disk_speed", "procs",
-                 "failed", "failures", "backlog", "busy_slots", "transfers")
+                 "failed", "failures", "backlog", "busy_slots", "transfers",
+                 "_release_cb")
 
     def __init__(self, engine: Engine, cfg: SimConfig, node_id: int,
                  rng: np.random.Generator,
@@ -78,6 +79,8 @@ class Node:
         #: Worker processes in use (serving or draining a response).
         self.busy_slots = 0
         self.transfers = 0
+        #: Cached bound callback (scheduled once per completed request).
+        self._release_cb = self._release_slot
 
     # -- admission ------------------------------------------------------------
 
@@ -190,7 +193,7 @@ class Node:
             proc.request.size_bytes)
         if transfer > 0.0:
             self.transfers += 1
-            self.engine.schedule(transfer, self._release_slot)
+            self.engine.call_later(transfer, self._release_cb)
         else:
             self._release_slot()
 

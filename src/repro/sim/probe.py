@@ -81,7 +81,7 @@ class ClusterProbe:
         if self._started:
             raise RuntimeError("probe already started")
         self._started = True
-        self.cluster.engine.schedule(self.period, self._tick)
+        self.cluster.engine.call_later(self.period, self._tick)
         return self
 
     def _tick(self) -> None:
@@ -103,7 +103,7 @@ class ClusterProbe:
         cap = getattr(self.cluster.policy, "theta_cap", None)
         self._theta_caps.append(float("nan") if cap is None else float(cap))
         self._completed.append(len(self.cluster.metrics))
-        self.cluster.engine.schedule(self.period, self._tick)
+        self.cluster.engine.call_later(self.period, self._tick)
 
     # -- results ---------------------------------------------------------------
 

@@ -22,9 +22,9 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from repro.workload.arrival import ArrivalKind, make_arrivals
-from repro.workload.cgi_profiles import CGIProfile, get_profile
+from repro.workload.cgi_profiles import get_profile
 from repro.workload.request import Request, RequestKind
-from repro.workload.specweb import MEAN_FILE_SIZE, closest_file, sample_files
+from repro.workload.specweb import MEAN_FILE_SIZE, closest_file
 from repro.workload.traces import TraceSpec
 
 #: Lognormal sigma used to spread logged response sizes around the trace

@@ -1,0 +1,112 @@
+"""The bench harness edges: scale resolution, the conftest usage error,
+and the baseline record/compare round trip."""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.perf.bench import resolve_scale
+from repro.perf.record import (
+    BenchRecord,
+    compare_to_baseline,
+    load_baseline,
+    write_baseline,
+    write_record,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+# -- REPRO_BENCH_SCALE resolution --------------------------------------------
+
+
+def test_resolve_scale_defaults_to_quick(monkeypatch):
+    monkeypatch.delenv("REPRO_BENCH_SCALE", raising=False)
+    assert resolve_scale() == "quick"
+    assert resolve_scale(env="quick") == "quick"
+    assert resolve_scale(env="FULL") == "full"
+
+
+def test_resolve_scale_quick_flag_overrides_env():
+    assert resolve_scale(quick_flag=True, env="full") == "quick"
+
+
+def test_resolve_scale_rejects_garbage():
+    with pytest.raises(SystemExit, match="REPRO_BENCH_SCALE"):
+        resolve_scale(env="jumbo")
+
+
+def test_bad_scale_is_a_pytest_usage_error_not_a_traceback():
+    """`REPRO_BENCH_SCALE=bogus pytest benchmarks/...` must exit with
+    pytest's usage-error code (4) and a one-line ERROR, not an
+    import-time ValueError traceback aborting collection."""
+    env = dict(os.environ, REPRO_BENCH_SCALE="bogus",
+               PYTHONPATH=str(REPO_ROOT / "src"))
+    proc = subprocess.run(
+        [sys.executable, "-m", "pytest", "benchmarks/conftest.py",
+         "--collect-only", "-q", "-p", "no:cacheprovider"],
+        cwd=REPO_ROOT, env=env, capture_output=True, text=True, timeout=120)
+    assert proc.returncode == 4, proc.stdout + proc.stderr
+    combined = proc.stdout + proc.stderr
+    assert "REPRO_BENCH_SCALE must be one of quick|full" in combined
+    assert "Traceback" not in combined
+
+
+# -- perf ledger -------------------------------------------------------------
+
+
+def _record(**overrides) -> BenchRecord:
+    rec = BenchRecord(scale="quick", jobs=2, engine_events_per_sec=1_000_000.0,
+                      config_fingerprint="abc123")
+    rec.figures["fig4-quick"] = {"wall_s": 3.5, "configs": 8.0, "jobs": 2.0}
+    for k, v in overrides.items():
+        setattr(rec, k, v)
+    return rec
+
+
+def test_write_record_and_baseline_roundtrip(tmp_path):
+    rec = _record().finalize()
+    path = write_record(rec, tmp_path)
+    assert path.name.startswith("BENCH_") and path.name.endswith(".json")
+    on_disk = json.loads(path.read_text())
+    assert on_disk["schema"] == "repro-bench/1"
+    assert on_disk["engine_events_per_sec"] == rec.engine_events_per_sec
+    assert on_disk["figures"]["fig4-quick"]["wall_s"] == 3.5
+
+    base_path = write_baseline(rec, tmp_path / "baseline.json")
+    baseline = load_baseline(base_path)
+    assert baseline["engine_events_per_sec"] == rec.engine_events_per_sec
+    assert baseline["figures"] == {"fig4-quick": 3.5}
+
+
+def test_gate_passes_within_tolerance_and_fails_beyond():
+    baseline = {"scale": "quick", "config_fingerprint": "abc123",
+                "engine_events_per_sec": 1_000_000.0}
+    ok, _ = compare_to_baseline(_record(engine_events_per_sec=850_000.0),
+                                baseline)
+    assert ok  # -15% is inside the 20% tolerance
+    ok, msg = compare_to_baseline(_record(engine_events_per_sec=700_000.0),
+                                  baseline)
+    assert not ok and msg.startswith("PERF REGRESSION")
+
+
+def test_gate_skips_on_scale_or_fingerprint_mismatch():
+    baseline = {"scale": "quick", "config_fingerprint": "abc123",
+                "engine_events_per_sec": 1_000_000.0}
+    ok, msg = compare_to_baseline(
+        _record(scale="full", engine_events_per_sec=1.0), baseline)
+    assert ok and "skipping comparison" in msg
+    ok, msg = compare_to_baseline(
+        _record(config_fingerprint="zzz", engine_events_per_sec=1.0),
+        baseline)
+    assert ok and "fingerprint changed" in msg
+
+
+def test_missing_baseline_is_none(tmp_path):
+    assert load_baseline(tmp_path / "nope.json") is None

@@ -1,0 +1,152 @@
+"""The parallel experiment runner: determinism, crash and exception
+isolation, and ordering guarantees of :mod:`repro.perf.pool`.
+
+The determinism tests are the contract the whole perf subsystem rests on:
+``--jobs N`` must be a pure wall-clock knob, never a results knob.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import os
+
+import pytest
+
+from repro.analysis.sweep import BakeoffSpec, run_bakeoff_grid
+from repro.perf.pool import TaskResult, run_tasks, run_values
+
+
+def _double(x):
+    return 2 * x
+
+
+def _flaky(x):
+    if x == 2:
+        raise ValueError("boom on two")
+    return 10 * x
+
+
+def _crashy(x):
+    if x == -1:
+        os._exit(3)
+    return x * x
+
+
+# -- basic contract ----------------------------------------------------------
+
+
+def test_inline_path_preserves_order_and_values():
+    results = run_tasks(_double, [3, 1, 4, 1, 5], jobs=1)
+    assert [r.index for r in results] == [0, 1, 2, 3, 4]
+    assert [r.value for r in results] == [6, 2, 8, 2, 10]
+    assert all(r.ok for r in results)
+
+
+def test_parallel_path_preserves_order_and_values():
+    results = run_tasks(_double, list(range(10)), jobs=3)
+    assert [r.index for r in results] == list(range(10))
+    assert [r.value for r in results] == [2 * i for i in range(10)]
+
+
+def test_chunked_assignment_preserves_order():
+    results = run_tasks(_double, list(range(11)), jobs=2, chunk_size=4)
+    assert [r.value for r in results] == [2 * i for i in range(11)]
+
+
+def test_empty_and_singleton_payloads():
+    assert run_tasks(_double, [], jobs=4) == []
+    (only,) = run_tasks(_double, [21], jobs=4)
+    assert only.value == 42
+
+
+def test_run_values_unwraps():
+    assert run_values(_double, [1, 2], jobs=1) == [2, 4]
+    with pytest.raises(RuntimeError, match="boom on two"):
+        run_values(_flaky, [1, 2, 3], jobs=1)
+
+
+# -- failure isolation -------------------------------------------------------
+
+
+def test_exception_fails_only_its_task():
+    results = run_tasks(_flaky, [1, 2, 3, 4], jobs=2)
+    assert [r.ok for r in results] == [True, False, True, True]
+    assert "boom on two" in results[1].error
+    assert [r.value for r in results if r.ok] == [10, 30, 40]
+    with pytest.raises(RuntimeError, match="task 1 failed"):
+        results[1].unwrap()
+
+
+def test_worker_crash_fails_only_its_task():
+    """A worker dying mid-task (os._exit, OOM-kill, segfault) must fail
+    that one payload and leave the rest of the run intact."""
+    results = run_tasks(_crashy, [2, -1, 3, 4, 5], jobs=2)
+    assert [r.ok for r in results] == [True, False, True, True, True]
+    assert "worker process died" in results[1].error
+    assert "exitcode=3" in results[1].error
+    assert [r.value for r in results if r.ok] == [4, 9, 16, 25]
+
+
+def test_every_worker_crashing_still_terminates():
+    results = run_tasks(_crashy, [-1, -1, -1], jobs=2)
+    assert all(not r.ok for r in results)
+    assert all("worker process died" in r.error for r in results)
+
+
+# -- determinism: jobs is a wall-clock knob, not a results knob --------------
+
+
+def _assert_identical(a, b, path=""):
+    """Recursive equality that treats NaN == NaN (empty metric classes
+    hold NaN percentiles)."""
+    if dataclasses.is_dataclass(a) and not isinstance(a, type):
+        assert type(a) is type(b), path
+        for f in dataclasses.fields(a):
+            _assert_identical(getattr(a, f.name), getattr(b, f.name),
+                              f"{path}.{f.name}")
+    elif isinstance(a, dict):
+        assert a.keys() == b.keys(), path
+        for k in a:
+            _assert_identical(a[k], b[k], f"{path}[{k!r}]")
+    elif isinstance(a, (list, tuple)):
+        assert len(a) == len(b), path
+        for i, (x, y) in enumerate(zip(a, b)):
+            _assert_identical(x, y, f"{path}[{i}]")
+    elif isinstance(a, float):
+        assert (a == b) or (math.isnan(a) and math.isnan(b)), \
+            f"{path}: {a!r} != {b!r}"
+    else:
+        assert a == b, f"{path}: {a!r} != {b!r}"
+
+
+@pytest.mark.integration
+def test_grid_results_identical_across_job_counts():
+    points = [
+        BakeoffSpec(spec_name="UCB", lam=260.0, r=1.0 / 40, p=4,
+                    duration=1.5, seed=7, policies=("MS", "Flat")),
+        BakeoffSpec(spec_name="KSU", lam=220.0, r=1.0 / 20, p=4,
+                    duration=1.5, seed=19, policies=("MS", "Flat")),
+    ]
+    serial = run_bakeoff_grid(points, jobs=1)
+    fanned = run_bakeoff_grid(points, jobs=4)
+    chunked = run_bakeoff_grid(points, jobs=2, chunk_size=2)
+    assert len(serial) == len(fanned) == len(chunked) == len(points)
+    for s, f, c in zip(serial, fanned, chunked):
+        assert s.m == f.m == c.m
+        _assert_identical(s.reports, f.reports, "jobs4")
+        _assert_identical(s.reports, c.reports, "chunked")
+
+
+def test_derive_seed_is_deterministic_and_distinct():
+    base = BakeoffSpec(spec_name="UCB", lam=100.0, r=0.05, p=4,
+                       duration=1.0, seed=5)
+    seeds = [base.derive_seed(i).seed for i in range(4)]
+    assert seeds == [base.derive_seed(i).seed for i in range(4)]
+    assert len(set(seeds)) == 4
+    assert base.seed == 5  # replace(), not mutation
+
+
+def test_task_result_repr_fields():
+    r = TaskResult(index=3, value="x")
+    assert r.ok and r.unwrap() == "x"
