@@ -36,6 +36,13 @@ def pytest_configure(config: pytest.Config) -> None:
         raise pytest.UsageError(
             f"REPRO_BENCH_SCALE must be one of {'|'.join(_VALID_SCALES)}, "
             f"got {_RAW_SCALE!r}")
+    if SCALE == "quick":
+        # Quick-scale benches double as correctness smoke: run every
+        # replay traced+audited (see src/repro/obs).  Full-scale runs
+        # stay untraced — a 128-node Figure-4 grid would hold hundreds
+        # of millions of spans.  ``run_bench`` pops the variable so the
+        # wall-time ledger gate always measures the untraced hot path.
+        os.environ.setdefault("REPRO_AUDIT", "1")
 
 
 def emit(text: str) -> None:

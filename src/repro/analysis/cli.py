@@ -6,7 +6,11 @@ Commands
     Theorem-1 sizing for a workload: optimal master count, theta bounds,
     predicted stretch factors.
 ``trace``
-    Generate a synthetic trace (optionally saving it to JSON Lines).
+    Generate a synthetic trace (optionally saving it to JSON Lines), or —
+    with ``--record`` / ``--audit`` / ``--summarize`` — drive the
+    ``repro.obs`` tracing subsystem: record an audited span stream from a
+    replay, audit a saved stream (or, bare, the fig3/fig4/chaos suites),
+    or summarise a saved stream.
 ``replay``
     Run one trace (generated or loaded) through a cluster under a policy
     and print the metrics report.
@@ -36,6 +40,15 @@ from repro.analysis.reporting import format_table
 from repro.analysis.sweep import choose_masters
 from repro.analysis.validation import mm1_calibration
 from repro.core.policies import make_policy
+from repro.obs import (
+    Tracer,
+    TraceAuditError,
+    audit_cluster,
+    audit_spans,
+    load_jsonl,
+    save_jsonl,
+    summarize_spans,
+)
 from repro.core.queuing import Workload, flat_stretch
 from repro.core.theorem import optimal_masters, theta_bounds
 from repro.perf.bench import add_bench_parser
@@ -86,8 +99,162 @@ def cmd_design(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Sentinel for a bare ``--audit`` (no file): audit the standard suites.
+_AUDIT_SUITES = "__suites__"
+
+
+def _trace_record(args: argparse.Namespace) -> int:
+    """``repro trace --record OUT``: replay, audit, and save the spans."""
+    spec = get_trace(args.trace)
+    trace = generate_trace(spec, rate=args.rate, duration=args.duration,
+                           mu_h=args.mu_h, r=1.0 / args.inv_r,
+                           seed=args.seed,
+                           cacheable_fraction=args.cacheable)
+    masters = args.masters
+    if masters is None:
+        masters = choose_masters(spec, args.rate, args.mu_h,
+                                 1.0 / args.inv_r, args.nodes)
+    sampler = pretrain_sampler(trace, seed=args.seed)
+    policy = make_policy(args.policy, args.nodes, masters,
+                         sampler=sampler, seed=args.seed + 17)
+    cfg = paper_sim_config(num_nodes=args.nodes, seed=args.seed)
+    cfg.static_rate = args.mu_h
+    tracer = Tracer()
+    result = replay(cfg, policy, trace, tracer=tracer, audit=False)
+    report = audit_cluster(result.cluster)
+    save_jsonl(tracer.spans, args.record, meta={
+        "trace": args.trace, "policy": args.policy, "nodes": args.nodes,
+        "masters": masters, "rate": args.rate, "duration": args.duration,
+        "seed": args.seed, "audit_ok": report.ok,
+    })
+    summary = summarize_spans(tracer.spans)
+    print(f"wrote {summary['spans']} spans ({summary['requests']} requests, "
+          f"{summary['nodes']} nodes) to {args.record}")
+    print(f"digest {summary['digest']}")
+    if report.ok:
+        print(f"audit: clean ({report.checked})")
+        return 0
+    print(report.render(), file=sys.stderr)
+    return 1
+
+
+def _trace_summarize(path: str) -> int:
+    """``repro trace --summarize FILE``: per-kind counts + digest."""
+    spans, header = load_jsonl(path)
+    summary = summarize_spans(spans)
+    rows = [["spans", summary["spans"]],
+            ["requests", summary["requests"]],
+            ["nodes", summary["nodes"]],
+            ["virtual horizon",
+             f"[{summary['t_min']:.3f}, {summary['t_max']:.3f}]"],
+            ["digest", summary["digest"][:16] + "..."]]
+    rows += [[f"  {kind}", count]
+             for kind, count in summary["kinds"].items()]
+    meta = header.get("meta")
+    title = f"{path}" + (f" ({meta})" if meta else "")
+    print(format_table(["quantity", "value"], rows, title=title))
+    return 0
+
+
+def _trace_audit_file(path: str) -> int:
+    """``repro trace --audit FILE``: structural audit of a saved stream.
+
+    A saved stream has no live cluster ledger or metrics report, so this
+    checks the trace-derivable invariants (causality, lifecycle, device
+    exclusivity, reservation caps) but not the ledger cross-checks.
+    """
+    spans, _header = load_jsonl(path)
+    report = audit_spans(spans)
+    if report.ok:
+        print(f"{path}: clean ({report.checked})")
+        return 0
+    print(report.render(), file=sys.stderr)
+    return 1
+
+
+def _trace_audit_suites(args: argparse.Namespace) -> int:
+    """Bare ``repro trace --audit``: audit fig3/fig4-style replays and the
+    chaos harness end to end; exit non-zero on any invariant violation."""
+    rows: List[List[object]] = []
+    failures = 0
+
+    def audited_replay(label: str, spec_name: str, policy_name: str,
+                       p: int, util: float, inv_r: int) -> None:
+        nonlocal failures
+        spec = get_trace(spec_name)
+        r = 1.0 / inv_r
+        lam = experiments.iso_load_rate(spec, 1200.0, r, p, util)
+        trace = generate_trace(spec, rate=lam, duration=6.0, mu_h=1200.0,
+                               r=r, seed=args.seed)
+        sampler = pretrain_sampler(trace, seed=args.seed)
+        m = choose_masters(spec, lam, 1200.0, r, p)
+        policy = make_policy(policy_name, p, m, sampler=sampler,
+                             seed=args.seed + 17)
+        tracer = Tracer()
+        result = replay(paper_sim_config(num_nodes=p, seed=args.seed),
+                        policy, trace, tracer=tracer, audit=False)
+        report = audit_cluster(result.cluster)
+        failures += len(report.violations)
+        rows.append([label, f"{spec_name}/{policy_name}",
+                     len(tracer.spans), len(report.violations),
+                     "ok" if report.ok else "FAIL"])
+        if not report.ok:
+            print(report.render(), file=sys.stderr)
+
+    # Fig-3 operating point (scaled to p=8): M/S vs the M/S-1 variant.
+    for policy_name in ("MS", "MS-1"):
+        audited_replay("fig3", "UCB", policy_name, p=8, util=0.6, inv_r=40)
+    # Fig-4 corners: both traces, both r extremes, low/high utilisation.
+    audited_replay("fig4", "UCB", "MS", p=8, util=0.9, inv_r=20)
+    audited_replay("fig4", "KSU", "MS", p=8, util=0.6, inv_r=80)
+    audited_replay("fig4", "KSU", "MSPrime", p=8, util=0.75, inv_r=40)
+
+    # Chaos: crash storm and the overloaded storm-burst, fully audited
+    # inside run_chaos (every variant's span stream).
+    for scenario, rate, duration in (("crash-storm", 200.0, 15.0),
+                                     ("storm-burst", 983.6, 15.0)):
+        try:
+            res = experiments.run_chaos(scenario, p=8, rate=rate,
+                                        duration=duration, drain=40.0,
+                                        seed=args.seed, audit=True)
+            rows.append(["chaos", scenario, res.audit_spans, 0, "ok"])
+        except TraceAuditError as exc:
+            failures += len(exc.report.violations)
+            rows.append(["chaos", scenario, "-",
+                         len(exc.report.violations), "FAIL"])
+            print(exc.report.render(), file=sys.stderr)
+
+    print(format_table(["suite", "config", "spans", "violations", "status"],
+                       rows, title="trace-audit suites"))
+    if failures:
+        print(f"{failures} invariant violation(s)", file=sys.stderr)
+        return 1
+    print("all suites clean")
+    return 0
+
+
 def cmd_trace(args: argparse.Namespace) -> int:
-    """``repro trace``: generate (and optionally save) a synthetic trace."""
+    """``repro trace``: generate a synthetic trace, or record/audit/
+    summarise an observability span stream."""
+    modes = [name for name in ("record", "audit", "summarize")
+             if getattr(args, name) is not None]
+    if len(modes) > 1:
+        print(f"--{modes[0]} and --{modes[1]} are mutually exclusive",
+              file=sys.stderr)
+        return 2
+    if args.record is not None:
+        return _trace_record(args)
+    if args.audit is not None:
+        if args.audit == _AUDIT_SUITES:
+            return _trace_audit_suites(args)
+        return _trace_audit_file(args.audit)
+    if args.summarize is not None:
+        return _trace_summarize(args.summarize)
+    return _trace_generate(args)
+
+
+def _trace_generate(args: argparse.Namespace) -> int:
+    """Original ``repro trace``: generate (and maybe save) a workload."""
     spec = get_trace(args.trace)
     trace = generate_trace(spec, rate=args.rate, duration=args.duration,
                            mu_h=args.mu_h, r=1.0 / args.inv_r,
@@ -215,11 +382,29 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--p", type=int, required=True)
     p.set_defaults(func=cmd_design)
 
-    p = sub.add_parser("trace", help="generate a synthetic trace")
+    p = sub.add_parser("trace",
+                       help="generate a synthetic trace, or record/audit/"
+                            "summarize an observability span stream")
     _add_workload_args(p)
     p.add_argument("--cacheable", type=float, default=0.0,
                    help="fraction of CGI output that is cacheable")
     p.add_argument("--out", help="write JSON Lines trace here")
+    p.add_argument("--record", metavar="SPANS.jsonl",
+                   help="replay the workload with tracing on, audit it, "
+                        "and save the span stream here")
+    p.add_argument("--audit", nargs="?", const=_AUDIT_SUITES,
+                   metavar="SPANS.jsonl",
+                   help="audit a saved span stream; bare, audit the "
+                        "fig3/fig4/chaos suites end to end")
+    p.add_argument("--summarize", metavar="SPANS.jsonl",
+                   help="print per-kind counts and digest of a saved "
+                        "span stream")
+    p.add_argument("--nodes", type=int, default=8,
+                   help="cluster size for --record")
+    p.add_argument("--masters", type=int, default=None,
+                   help="master count for --record (default: Theorem 1)")
+    p.add_argument("--policy", default="MS",
+                   help="dispatch policy for --record")
     p.set_defaults(func=cmd_trace)
 
     p = sub.add_parser("replay", help="simulate one trace under a policy")

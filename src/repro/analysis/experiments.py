@@ -24,6 +24,7 @@ from repro.analysis.sweep import (
     run_bakeoff_grid,
 )
 from repro.core.policies import make_ms
+from repro.obs import Tracer, audit_cluster
 from repro.core.queuing import Workload, best_msprime, flat_stretch
 from repro.core.stretch import improvement_percent
 from repro.core.theorem import optimal_masters
@@ -574,6 +575,10 @@ class ChaosResult:
     scenario: ChaosScenario
     horizon: float
     rows: List[ChaosRow]
+    #: Whether each variant's span stream passed the trace auditor.
+    audited: bool = False
+    #: Total spans audited across the scenario's variants.
+    audit_spans: int = 0
 
     def row(self, label: str) -> ChaosRow:
         for row in self.rows:
@@ -643,6 +648,7 @@ def run_chaos(
     detection_mode: str = "monitor",
     resilience_cfg: Optional[ResilienceConfig] = None,
     include_reference: bool = True,
+    audit: bool = True,
 ) -> ChaosResult:
     """Drive one chaos scenario against seed-behaviour and resilient M/S.
 
@@ -655,7 +661,13 @@ def run_chaos(
       /shedding; crashed work restarts per the failure policy);
     * ``resilient`` — chaos with the resilience layer armed.
 
-    The request-conservation invariant is asserted on every variant.
+    The request-conservation invariant is asserted on every variant, and
+    with ``audit=True`` (the default) each variant also runs with tracing
+    on and its full span stream through the trace auditor — causality,
+    device exclusivity, reservation caps, conservation, and stretch
+    recomputation are all re-derived from the trace and any violation
+    raises :class:`repro.obs.TraceAuditError`.  Each variant gets a fresh
+    tracer that is discarded after its audit, bounding span memory.
     """
     if isinstance(scenario, str):
         try:
@@ -681,11 +693,13 @@ def run_chaos(
 
     rows: List[ChaosRow] = []
     horizon = duration + drain
+    audit_spans = 0
     for label, inject, res in variants:
         policy = make_ms(p, m, sampler=sampler, seed=seed + 5)
+        tracer = Tracer() if audit else None
         cluster = Cluster(SimConfig(num_nodes=p, seed=seed),
                           policy, failure_policy=failure_policy,
-                          resilience=res)
+                          resilience=res, tracer=tracer)
         if inject:
             scenario.apply(cluster, duration,
                            np.random.default_rng(seed + 17))
@@ -699,6 +713,10 @@ def run_chaos(
             cluster.run(until=deadline)
             extensions += 1
         cluster.assert_conservation()
+        if tracer is not None:
+            audit_spans += len(tracer)
+            audit_cluster(cluster).raise_if_failed()
+            tracer.clear()
         avail = cluster.availability(horizon=cluster.engine.now,
                                      slo_stretch=res_cfg.slo_stretch)
         report = cluster.metrics.report()
@@ -718,7 +736,8 @@ def run_chaos(
             balance=avail.balance,
         ))
         horizon = max(horizon, cluster.engine.now)
-    return ChaosResult(scenario=scenario, horizon=horizon, rows=rows)
+    return ChaosResult(scenario=scenario, horizon=horizon, rows=rows,
+                       audited=audit, audit_spans=audit_spans)
 
 
 def _chaos_task(kwargs: Dict[str, object]) -> ChaosResult:

@@ -17,7 +17,7 @@ from typing import Optional, Protocol, Sequence
 import numpy as np
 
 from repro.core.reservation import ReservationConfig, ReservationController
-from repro.core.rsrc import DEFAULT_W, select_min_rsrc
+from repro.core.rsrc import DEFAULT_W, rsrc_cost, select_min_rsrc
 from repro.core.sampling import DemandSampler
 from repro.workload.request import Request, RequestKind
 
@@ -73,6 +73,14 @@ class Route:
 class Policy(abc.ABC):
     """Base class for dispatch policies."""
 
+    #: When true (set by a traced cluster), :meth:`route` stashes its
+    #: per-decision verdict in :attr:`last_decision` as ``(w, rsrc_cost,
+    #: gate, effective_cap, master_fraction)`` — ``gate`` is ``None`` for
+    #: policies/paths where the reservation cap does not apply.  Policies
+    #: that never run the dynamic-dispatch path simply leave it ``None``.
+    trace_decisions = False
+    last_decision: Optional[tuple] = None
+
     def __init__(self, num_nodes: int, master_ids: Sequence[int],
                  seed: int = 0):
         if num_nodes < 1:
@@ -104,6 +112,23 @@ class Policy(abc.ABC):
     def on_complete(self, request: Request, response_time: float,
                     on_master: bool, node_id: int) -> None:
         """Completion feedback; default: ignore."""
+
+    def _stash_decision(self, w: float, eff_cpu: np.ndarray,
+                        eff_disk: np.ndarray, node: int,
+                        gate: Optional[bool]) -> None:
+        """Record a dynamic-dispatch verdict for the tracing layer.
+
+        Called *before* ``record_decision`` moves the admission EWMA, so
+        the stashed gate state is the one the dispatch was gated on.
+        """
+        res = getattr(self, "reservation", None)
+        self.last_decision = (
+            w,
+            rsrc_cost(w, float(eff_cpu[node]), float(eff_disk[node])),
+            gate,
+            None if res is None else res.effective_cap,
+            None if res is None else res.master_fraction,
+        )
 
     def _random_master(self) -> int:
         return int(self._masters[self.rng.integers(len(self._masters))])
@@ -327,13 +352,20 @@ class MSPolicy(Policy):
                        accept: int) -> Route:
         slaves = self._alive(view, self._slaves)
         masters = self._alive(view, self._masters)
+        gate = None
         if len(slaves) == 0:
             candidates = masters
-        elif self.reservation is None or self.reservation.admit_to_master():
-            candidates = np.concatenate([slaves, masters])
         else:
-            candidates = slaves
+            if self.reservation is not None:
+                gate = self.reservation.admit_to_master()
+            if gate is None or gate:
+                candidates = np.concatenate([slaves, masters])
+            else:
+                candidates = slaves
         if len(candidates) == 0:
+            # Emergency fallback: the reservation cap cannot be honoured
+            # when the preferred tier is entirely out of service.
+            gate = None
             candidates = self._alive(
                 view, np.arange(self.num_nodes, dtype=np.intp))
             if len(candidates) == 0:
@@ -344,6 +376,8 @@ class MSPolicy(Policy):
         eff_cpu = view.cpu_idle_array() * g ** self._outstanding_cpu
         eff_disk = view.disk_avail_array() * g ** self._outstanding_disk
         node = select_min_rsrc(w, eff_cpu, eff_disk, candidates, self.rng)
+        if self.trace_decisions:
+            self._stash_decision(w, eff_cpu, eff_disk, node, gate)
         self._outstanding_cpu[node] += w
         self._outstanding_disk[node] += 1.0 - w
         self._dispatched_w[request.req_id] = w
@@ -410,6 +444,8 @@ class MSPrimePolicy(Policy):
         if len(dyn) == 0:
             dyn = pool
         node = select_min_rsrc(w, eff_cpu, eff_disk, dyn, self.rng)
+        if self.trace_decisions:
+            self._stash_decision(w, eff_cpu, eff_disk, node, None)
         self._outstanding_cpu[node] += w
         self._outstanding_disk[node] += 1.0 - w
         self._dispatched_w[request.req_id] = w
@@ -474,13 +510,18 @@ class HeteroMSPolicy(MSPolicy):
                        accept: int) -> Route:
         slaves = self._alive(view, self._slaves)
         masters = self._alive(view, self._masters)
+        gate = None
         if len(slaves) == 0:
             candidates = masters
-        elif self.reservation is None or self.reservation.admit_to_master():
-            candidates = np.concatenate([slaves, masters])
         else:
-            candidates = slaves
+            if self.reservation is not None:
+                gate = self.reservation.admit_to_master()
+            if gate is None or gate:
+                candidates = np.concatenate([slaves, masters])
+            else:
+                candidates = slaves
         if len(candidates) == 0:
+            gate = None
             candidates = self._alive(
                 view, np.arange(self.num_nodes, dtype=np.intp))
             if len(candidates) == 0:
@@ -495,6 +536,8 @@ class HeteroMSPolicy(MSPolicy):
         eff_disk = (self.disk_speeds * view.disk_avail_array()
                     * g ** self._outstanding_disk)
         node = select_min_rsrc(w, eff_cpu, eff_disk, candidates, self.rng)
+        if self.trace_decisions:
+            self._stash_decision(w, eff_cpu, eff_disk, node, gate)
         self._outstanding_cpu[node] += w
         self._outstanding_disk[node] += 1.0 - w
         self._dispatched_w[request.req_id] = w

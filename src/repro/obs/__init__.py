@@ -1,0 +1,43 @@
+"""Observability: per-request tracing and trace auditing.
+
+``repro.obs`` gives every simulated request an auditable lifecycle: the
+cluster, nodes, device models, and resilience layer append structured
+*span records* to a :class:`~repro.obs.trace.Tracer`, and the
+:mod:`~repro.obs.audit` module replays a completed run's spans to prove
+scheduler invariants (causality, single-server exclusivity, request
+conservation, the theta'_2 reservation cap, and metric agreement).
+
+The tap is opt-in and no-op when disabled: components hold a ``_tracer``
+attribute that defaults to ``None``, so untraced runs pay one attribute
+load per hook and the PR-2 performance gates are unaffected.
+"""
+
+from repro.obs.audit import (
+    AuditReport,
+    TraceAuditError,
+    Violation,
+    audit_cluster,
+    audit_spans,
+)
+from repro.obs.trace import (
+    SPAN_FIELDS,
+    Tracer,
+    load_jsonl,
+    save_jsonl,
+    span_digest,
+    summarize_spans,
+)
+
+__all__ = [
+    "AuditReport",
+    "SPAN_FIELDS",
+    "TraceAuditError",
+    "Tracer",
+    "Violation",
+    "audit_cluster",
+    "audit_spans",
+    "load_jsonl",
+    "save_jsonl",
+    "span_digest",
+    "summarize_spans",
+]

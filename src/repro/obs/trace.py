@@ -1,0 +1,230 @@
+"""Structured per-request span recording for the simulator.
+
+A *span* is one immutable tuple ``(t, kind, req_id, node_id, data)``:
+
+``t``
+    Virtual engine time the event happened at.
+``kind``
+    One of the ``SPAN_*`` string constants below (interned literals, so
+    consumers can compare with ``is`` or ``==`` interchangeably).
+``req_id``
+    The request the span belongs to, or ``-1`` for cluster-level meta
+    spans (node failures, shed-level changes, run summaries).
+``node_id``
+    The node the event happened on, or ``-1`` when no node is involved
+    (arrival at the dispatcher, run meta).
+``data``
+    Kind-specific payload tuple, or ``None``.  Payload layouts are
+    documented per constant and in ``docs/observability.md``.
+
+The tracer is deliberately dumb: components append tuples to one flat
+list via :meth:`Tracer.record` and the auditor reconstructs lifecycles
+offline.  There is no per-span object allocation beyond the tuple, no
+locking, and no formatting on the hot path — a disabled tap costs one
+``None`` attribute check per hook site.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import TYPE_CHECKING, Iterable, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.engine import Engine
+
+#: Span tuple layout, in order.
+SPAN_FIELDS = ("t", "kind", "req_id", "node_id", "data")
+
+Span = Tuple[float, str, int, int, Optional[tuple]]
+
+# -- request lifecycle kinds --------------------------------------------------
+
+#: Request reached the dispatcher.  data=(kind, demand).
+ARRIVE = "arrive"
+#: Dispatcher chose a node.  data=(remote, is_master, w, rsrc_cost,
+#: gate, effective_cap, master_fraction) — the last three are None for
+#: policies without a reservation controller.
+DISPATCH = "dispatch"
+#: Dispatcher or admission refused the request.  data=(reason,).
+DENY = "deny"
+#: Node accepted the request.  data=(backlogged,).
+ADMIT = "admit"
+#: Node began executing (left the backlog).  data=(plan_len,).
+START = "start"
+#: Request finished.  data=(demand, remote, on_master).
+COMPLETE = "complete"
+#: Resilience layer dropped the request.  data=(reason,).
+DROP = "drop"
+#: Resilience layer scheduled a re-submission.  data=(attempt, delay).
+RETRY = "retry"
+#: Deadline fired while the request was in flight.  data=None.
+TIMEOUT = "timeout"
+#: Request aborted in place (node crash / drain).  data=(reason,).
+ABORT = "abort"
+#: Request lost outright (crash with no resilience layer).  data=None.
+LOST = "lost"
+#: Background (recruitment-overhead) work admitted.  data=None.
+BG_ADMIT = "bg_admit"
+
+# -- device occupancy kinds ---------------------------------------------------
+
+#: CPU started serving a slice for the request.  data=None.
+CPU_ON = "cpu_on"
+#: CPU stopped serving the request (slice end / preempt / abort).
+CPU_OFF = "cpu_off"
+#: Disk started serving a burst chunk for the request.  data=None.
+IO_ON = "io_on"
+#: Disk stopped serving the request.  data=None.
+IO_OFF = "io_off"
+
+# -- cluster meta kinds (req_id == node-or--1, see payloads) ------------------
+
+#: Node failed.  node_id set; data=(aborted_count,).
+NODE_FAIL = "node_fail"
+#: Node recovered.  node_id set; data=None.
+NODE_RECOVER = "node_recover"
+#: Node drained gracefully.  node_id set; data=None.
+NODE_DRAIN = "node_drain"
+#: Node retired from the recruitment schedule.  node_id set; data=None.
+NODE_RETIRE = "node_retire"
+#: Overload shed level changed.  data=(old_level, new_level).
+SHED_LEVEL = "shed_level"
+#: Engine run finished.  data=(events_processed,).
+RUN = "run"
+
+#: Kinds that end a request's lifecycle for conservation accounting.
+TERMINAL_KINDS = frozenset((COMPLETE, DROP, LOST))
+
+
+class Tracer:
+    """Append-only span sink bound to one engine clock.
+
+    >>> from repro.sim.engine import Engine
+    >>> eng = Engine()
+    >>> tr = Tracer(eng)
+    >>> tr.record(ARRIVE, 7, -1, (1, 0.25))
+    >>> tr.spans
+    [(0.0, 'arrive', 7, -1, (1, 0.25))]
+    """
+
+    __slots__ = ("engine", "spans", "meta")
+
+    def __init__(self, engine: Optional["Engine"] = None) -> None:
+        self.engine = engine
+        self.spans: List[Span] = []
+        self.meta: dict = {}
+
+    def bind(self, engine: "Engine") -> None:
+        """Attach the engine whose clock timestamps every span."""
+        self.engine = engine
+
+    def record(self, kind: str, req_id: int, node_id: int,
+               data: Optional[tuple] = None) -> None:
+        """Append one span stamped with the engine's current time."""
+        self.spans.append((self.engine.now, kind, req_id, node_id, data))
+
+    def record_meta(self, kind: str, *data: object) -> None:
+        """Append a cluster-level span with no request attached."""
+        self.spans.append(
+            (self.engine.now, kind, -1, -1, data if data else None))
+
+    def clear(self) -> None:
+        self.spans.clear()
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+
+# -- serialisation ------------------------------------------------------------
+
+
+def _json_default(obj: object) -> object:
+    """Coerce numpy scalars (np.bool_, np.float64, ...) leaking into span
+    payloads from vectorised policy code into plain Python values."""
+    item = getattr(obj, "item", None)
+    if callable(item):
+        return item()
+    raise TypeError(f"unserialisable span payload element: {obj!r}")
+
+
+def _encode(span: Span) -> str:
+    t, kind, req_id, node_id, data = span
+    return json.dumps(
+        [t, kind, req_id, node_id, None if data is None else list(data)],
+        separators=(",", ":"), default=_json_default)
+
+
+def save_jsonl(spans: Sequence[Span], path, meta: Optional[dict] = None) -> None:
+    """Write spans as JSONL: one meta header line, then one span per line."""
+    with open(path, "w", encoding="utf-8") as fh:
+        header = {"format": "repro.obs/1", "fields": list(SPAN_FIELDS),
+                  "count": len(spans)}
+        if meta:
+            header["meta"] = meta
+        fh.write(json.dumps(header, separators=(",", ":")) + "\n")
+        for span in spans:
+            fh.write(_encode(span) + "\n")
+
+
+def load_jsonl(path) -> Tuple[List[Span], dict]:
+    """Read a trace written by :func:`save_jsonl`; returns (spans, header)."""
+    spans: List[Span] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        header_line = fh.readline()
+        header = json.loads(header_line) if header_line.strip() else {}
+        if header.get("format") != "repro.obs/1":
+            raise ValueError(f"{path}: not a repro.obs/1 trace file")
+        for line in fh:
+            if not line.strip():
+                continue
+            t, kind, req_id, node_id, data = json.loads(line)
+            spans.append((float(t), kind, int(req_id), int(node_id),
+                          None if data is None else tuple(data)))
+    return spans, header
+
+
+# -- digest & summary ---------------------------------------------------------
+
+
+def span_digest(spans: Iterable[Span]) -> str:
+    """Order-sensitive sha256 over the span stream.
+
+    Timestamps are rendered at fixed ``.9f`` precision so the digest is
+    stable across platforms that agree to within a nanosecond of virtual
+    time, while still catching any real scheduling change.
+    """
+    h = hashlib.sha256()
+    for t, kind, req_id, node_id, data in spans:
+        payload = "" if data is None else json.dumps(
+            list(data), separators=(",", ":"), default=_json_default)
+        h.update(f"{kind}|{req_id}|{node_id}|{t:.9f}|{payload}\n".encode())
+    return h.hexdigest()
+
+
+def summarize_spans(spans: Sequence[Span]) -> dict:
+    """Aggregate counts + horizon for human display and quick sanity checks."""
+    kinds: dict = {}
+    requests = set()
+    nodes = set()
+    t_min = float("inf")
+    t_max = float("-inf")
+    for t, kind, req_id, node_id, _ in spans:
+        kinds[kind] = kinds.get(kind, 0) + 1
+        if req_id >= 0:
+            requests.add(req_id)
+        if node_id >= 0:
+            nodes.add(node_id)
+        if t < t_min:
+            t_min = t
+        if t > t_max:
+            t_max = t
+    return {
+        "spans": len(spans),
+        "requests": len(requests),
+        "nodes": len(nodes),
+        "t_min": t_min if spans else 0.0,
+        "t_max": t_max if spans else 0.0,
+        "kinds": dict(sorted(kinds.items())),
+        "digest": span_digest(spans),
+    }

@@ -155,11 +155,31 @@ def run_bench(
     update_baseline: bool = False,
 ) -> int:
     """Run the full bench suite; returns the process exit code."""
-    from repro.analysis.experiments import run_chaos_suite
-    from repro.analysis.sweep import run_bakeoff_grid
-
     total_start = time.perf_counter()
     grid = _quick_grid() if scale == "quick" else _full_grid()
+    # The wall-time gate compares against a tracing-disabled baseline, so
+    # force tracing off even if the environment asks every replay to audit
+    # (worker processes inherit the suppression).
+    saved_audit = os.environ.pop("REPRO_AUDIT", None)
+    try:
+        return _run_bench_stages(jobs, scale, out_dir, baseline_path,
+                                 update_baseline, grid, total_start)
+    finally:
+        if saved_audit is not None:
+            os.environ["REPRO_AUDIT"] = saved_audit
+
+
+def _run_bench_stages(
+    jobs: int,
+    scale: str,
+    out_dir: Path,
+    baseline_path: Path,
+    update_baseline: bool,
+    grid,
+    total_start: float,
+) -> int:
+    from repro.analysis.experiments import run_chaos_suite
+    from repro.analysis.sweep import run_bakeoff_grid
 
     record = BenchRecord(
         scale=scale,
@@ -193,7 +213,7 @@ def run_bench(
 
     start = time.perf_counter()
     chaos = run_chaos_suite(_chaos_scenarios(scale), jobs=jobs,
-                            **_chaos_params(scale))
+                            audit=False, **_chaos_params(scale))
     wall = time.perf_counter() - start
     record.figures["chaos"] = {"wall_s": round(wall, 3),
                                "configs": float(len(chaos)),

@@ -22,6 +22,20 @@ from typing import Dict, Iterable, Optional
 import numpy as np
 
 from repro.core.policies import Policy, Route
+from repro.obs.trace import (
+    ABORT,
+    ARRIVE,
+    BG_ADMIT,
+    COMPLETE,
+    DENY,
+    DISPATCH,
+    LOST,
+    NODE_DRAIN,
+    NODE_FAIL,
+    NODE_RECOVER,
+    NODE_RETIRE,
+    Tracer,
+)
 from repro.sim.config import SimConfig
 from repro.sim.engine import Engine
 from repro.sim.failures import FailurePolicy
@@ -120,7 +134,8 @@ class Cluster:
 
     def __init__(self, cfg: SimConfig, policy: Policy,
                  failure_policy: Optional[FailurePolicy] = None,
-                 resilience: Optional[ResilienceConfig] = None):
+                 resilience: Optional[ResilienceConfig] = None,
+                 tracer: Optional[Tracer] = None):
         cfg.validate()
         if policy.num_nodes != cfg.num_nodes:
             raise ValueError(
@@ -170,6 +185,20 @@ class Cluster:
         #: Per-node accumulated out-of-service time (availability metrics).
         self.downtime = np.zeros(cfg.num_nodes)
         self._down_since: Dict[int, float] = {}
+        #: Observability tap (``None`` keeps every hook a no-op).
+        self.tracer = tracer
+        if tracer is not None:
+            tracer.bind(self.engine)
+            self.engine.tracer = tracer
+            for node in self.nodes:
+                node._tracer = tracer
+                node.cpu._tracer = tracer
+                node.disk._tracer = tracer
+            if self.resilience is not None:
+                self.resilience._tracer = tracer
+            # Policies stash their per-decision verdict (w, RSRC score,
+            # reservation-gate state) only when asked to.
+            self.policy.trace_decisions = True
 
     # -- submission ---------------------------------------------------------------
 
@@ -194,6 +223,14 @@ class Cluster:
 
     def _arrive(self, request: Request) -> None:
         mgr = self.resilience
+        tr = self.tracer
+        if tr is not None:
+            tr.record(ARRIVE, request.req_id, -1,
+                      (int(request.kind), request.demand))
+            # A cache-hit route can bypass the dynamic-dispatch path, so a
+            # stale verdict from the previous request must not leak into
+            # this request's dispatch span.
+            self.policy.last_decision = None
         if mgr is not None and not mgr.admit(request):
             return  # shed under overload
         try:
@@ -209,11 +246,20 @@ class Cluster:
                 f"policy routed request {request.req_id} to invalid node "
                 f"{route.node_id}"
             )
+        if tr is not None:
+            ld = self.policy.last_decision
+            tr.record(DISPATCH, request.req_id, route.node_id,
+                      (route.remote, self.policy.is_master(route.node_id))
+                      + (ld if ld is not None
+                         else (None, None, None, None, None)))
         if (not self.alive[route.node_id]
                 or self.nodes[route.node_id].failed):
             # A failure-unaware front end (DNS rotation with cached IPs) or
             # an undetected crash: the client's connection attempt fails.
             self.denied_attempts += 1
+            if tr is not None:
+                tr.record(DENY, request.req_id, route.node_id,
+                          ("dead_node",))
             if mgr is not None:
                 mgr.handle_failure(request, "dead_node")
             else:
@@ -233,6 +279,9 @@ class Cluster:
     def _admit(self, request: Request, route: Route, latency: float) -> None:
         if not self.alive[route.node_id] or self.nodes[route.node_id].failed:
             # The node died during the dispatch hop; re-route.
+            if self.tracer is not None:
+                self.tracer.record(DENY, request.req_id, route.node_id,
+                                   ("dead_node",))
             if self.resilience is not None:
                 self.resilience.handle_failure(request, "dead_node")
             else:
@@ -286,12 +335,18 @@ class Cluster:
             else:
                 self._mark_down(node_id)
         aborted, queued = node.fail()
+        tr = self.tracer
+        if tr is not None:
+            tr.record(NODE_FAIL, -1, node_id,
+                      (len(aborted) + len(queued),))
         restarted = 0
         for request in [proc.request for proc in aborted] + queued:
             if request.req_id in self._background_ids:
                 self._background_ids.discard(request.req_id)
                 continue
             self._routes.pop(request.req_id, None)
+            if tr is not None:
+                tr.record(ABORT, request.req_id, node_id, ("crash",))
             if self.resilience is not None:
                 if self.resilience.on_crash_abort(request):
                     restarted += 1
@@ -301,6 +356,8 @@ class Cluster:
                 restarted += 1
             else:
                 self.lost_requests += 1
+                if tr is not None:
+                    tr.record(LOST, request.req_id, node_id)
         self.restarted_requests += restarted
         return restarted
 
@@ -309,6 +366,8 @@ class Cluster:
         self.nodes[node_id].recover()
         self._draining.discard(node_id)
         self._mark_up(node_id)
+        if self.tracer is not None:
+            self.tracer.record(NODE_RECOVER, -1, node_id)
 
     def retire_node(self, node_id: int) -> None:
         """Take an idle node out of service without the crash semantics
@@ -318,6 +377,8 @@ class Cluster:
                 f"node {node_id} has in-flight work; use fail_node")
         self.nodes[node_id].failed = True
         self._mark_down(node_id)
+        if self.tracer is not None:
+            self.tracer.record(NODE_RETIRE, -1, node_id)
 
     def drain_node(self, node_id: int) -> int:
         """Gracefully take a node out of service: stop routing new work to
@@ -331,6 +392,9 @@ class Cluster:
         if node.failed or node_id in self._draining:
             return 0
         self._mark_down(node_id)
+        if self.tracer is not None:
+            self.tracer.record(NODE_DRAIN, -1, node_id,
+                               (node.active + len(node.backlog),))
         if node.active == 0 and not node.backlog:
             node.failed = True
             return 0
@@ -355,6 +419,10 @@ class Cluster:
         if not 0 <= node_id < self.cfg.num_nodes:
             raise ValueError(f"invalid node {node_id}")
         self._background_ids.add(request.req_id)
+        if self.tracer is not None:
+            # Marked before the node's admit span so the auditor can
+            # exclude the request from foreground lifecycle checks.
+            self.tracer.record(BG_ADMIT, request.req_id, node_id)
         return self.nodes[node_id].admit(request)
 
     def _on_complete(self, node: Node, proc: SimProcess) -> None:
@@ -367,6 +435,13 @@ class Cluster:
             return
         route = self._routes.pop(req_id)
         on_master = self.policy.is_master(proc.node_id)
+        if self.tracer is not None:
+            # Demand comes from the *executed* request (a cache hit
+            # substitutes a cheaper body under the same id), matching what
+            # the metrics collector records.
+            self.tracer.record(COMPLETE, req_id, proc.node_id,
+                               (proc.request.demand, route.remote,
+                                on_master))
         self.metrics.record(proc, route.remote, on_master)
         response = proc.finish_time - proc.request.arrival_time
         if self.resilience is not None:

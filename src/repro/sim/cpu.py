@@ -27,6 +27,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Callable, Optional
 
+from repro.obs.trace import CPU_OFF, CPU_ON
 from repro.sim.config import CPUConfig
 from repro.sim.engine import Engine
 from repro.sim.process import ProcState, SimProcess
@@ -52,7 +53,7 @@ class CPU:
         "engine", "cfg", "on_burst_done", "queues", "current",
         "_last_proc", "busy_time", "_slice_start", "_slice_overhead",
         "_slice_len", "_dispatching", "switches", "preemptions",
-        "_occupied", "_slice_cb",
+        "_occupied", "_slice_cb", "_tracer",
     )
 
     def __init__(self, engine: Engine, cfg: CPUConfig,
@@ -77,6 +78,8 @@ class CPU:
         # Cached bound callback: scheduled once per slice, which makes it
         # the single most-scheduled callable in the simulator.
         self._slice_cb = self._on_slice_end
+        #: Observability tap (set by the cluster; ``None`` = disabled).
+        self._tracer = None
 
     # -- priority bookkeeping ------------------------------------------------
 
@@ -120,9 +123,13 @@ class CPU:
 
     def abort_all(self) -> None:
         """Drop every queued and running process (node failure)."""
-        if self.current is not None and self.current.slice_event is not None:
-            self.current.slice_event.cancel()
-            self.current.slice_event = None
+        if self.current is not None:
+            if self.current.slice_event is not None:
+                self.current.slice_event.cancel()
+                self.current.slice_event = None
+            if self._tracer is not None:
+                self._tracer.record(CPU_OFF, self.current.request.req_id,
+                                    self.current.node_id)
         self.current = None
         for queue in self.queues:
             queue.clear()
@@ -140,6 +147,9 @@ class CPU:
             if proc.slice_event is not None:
                 proc.slice_event.cancel()
                 proc.slice_event = None
+            if self._tracer is not None:
+                self._tracer.record(CPU_OFF, proc.request.req_id,
+                                    proc.node_id)
             self.current = None
             if not self._dispatching:
                 self._dispatch()
@@ -164,6 +174,8 @@ class CPU:
         if proc.slice_event is not None:
             proc.slice_event.cancel()
             proc.slice_event = None
+        if self._tracer is not None:
+            self._tracer.record(CPU_OFF, proc.request.req_id, proc.node_id)
         work_start = self._slice_start + self._slice_overhead
         work_done = max(0.0, now - work_start)
         self._account(proc, now - self._slice_start, work_done)
@@ -220,12 +232,17 @@ class CPU:
             proc.slice_event = self.engine.schedule(
                 overhead + slice_len, self._slice_cb, proc
             )
+            if self._tracer is not None:
+                self._tracer.record(CPU_ON, proc.request.req_id,
+                                    proc.node_id)
         finally:
             self._dispatching = False
 
     def _on_slice_end(self, proc: SimProcess) -> None:
         assert proc is self.current
         proc.slice_event = None
+        if self._tracer is not None:
+            self._tracer.record(CPU_OFF, proc.request.req_id, proc.node_id)
         self._account(proc, self._slice_overhead + self._slice_len, self._slice_len)
         self.current = None
         if proc.burst_remaining <= _EPS:

@@ -12,6 +12,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Callable, Optional
 
+from repro.obs.trace import IO_OFF, IO_ON
 from repro.sim.config import DiskConfig
 from repro.sim.engine import Engine
 from repro.sim.process import ProcState, SimProcess
@@ -34,7 +35,8 @@ class Disk:
     """
 
     __slots__ = ("engine", "cfg", "on_burst_done", "queue", "current",
-                 "busy_time", "slices_served", "_current_event", "_slice_cb")
+                 "busy_time", "slices_served", "_current_event", "_slice_cb",
+                 "_tracer")
 
     def __init__(self, engine: Engine, cfg: DiskConfig,
                  on_burst_done: Callable[[SimProcess], None]):
@@ -48,6 +50,8 @@ class Disk:
         self._current_event = None
         # Cached bound callback: scheduled once per disk slice.
         self._slice_cb = self._on_slice_end
+        #: Observability tap (set by the cluster; ``None`` = disabled).
+        self._tracer = None
 
     def submit(self, proc: SimProcess) -> None:
         """Queue the process's current I/O burst (``proc.burst_remaining``)."""
@@ -70,6 +74,9 @@ class Disk:
         if self._current_event is not None:
             self._current_event.cancel()
             self._current_event = None
+        if self.current is not None and self._tracer is not None:
+            self._tracer.record(IO_OFF, self.current.request.req_id,
+                                self.current.node_id)
         self.current = None
         self.queue.clear()
 
@@ -82,6 +89,9 @@ class Disk:
             if self._current_event is not None:
                 self._current_event.cancel()
                 self._current_event = None
+            if self._tracer is not None:
+                self._tracer.record(IO_OFF, proc.request.req_id,
+                                    proc.node_id)
             self.current = None
             self._serve_next()
             return True
@@ -99,9 +109,13 @@ class Disk:
         self.current = proc
         self._current_event = self.engine.schedule(
             slice_len, self._slice_cb, proc, slice_len)
+        if self._tracer is not None:
+            self._tracer.record(IO_ON, proc.request.req_id, proc.node_id)
 
     def _on_slice_end(self, proc: SimProcess, slice_len: float) -> None:
         assert proc is self.current
+        if self._tracer is not None:
+            self._tracer.record(IO_OFF, proc.request.req_id, proc.node_id)
         self.current = None
         self._current_event = None
         self.busy_time += slice_len

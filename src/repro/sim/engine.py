@@ -119,10 +119,14 @@ class Engine:
     """
 
     __slots__ = ("now", "_sorted", "_buffer", "_bnext", "_seq", "_running",
-                 "_processed", "_free")
+                 "_processed", "_free", "tracer")
 
     def __init__(self) -> None:
         self.now: float = 0.0
+        #: Optional :class:`repro.obs.trace.Tracer`.  The engine itself only
+        #: emits one ``run`` meta span per :meth:`run` call — per-event
+        #: tracing lives in the components, keeping the hot loop untouched.
+        self.tracer = None
         #: Descending (time, seq, ...) entries; the next due event is LAST.
         self._sorted: list = []
         #: Unsorted newly scheduled entries, folded in lazily by `_merge`.
@@ -349,6 +353,8 @@ class Engine:
                 gc.enable()
         if until is not None and self.now < until:
             self.now = until
+        if self.tracer is not None:
+            self.tracer.record_meta("run", processed)
         return processed
 
     def step(self) -> bool:

@@ -14,6 +14,7 @@ from typing import Callable, List, Optional, Tuple
 
 import numpy as np
 
+from repro.obs.trace import ADMIT, START
 from repro.sim.config import SimConfig
 from repro.sim.cpu import CPU
 from repro.sim.disk import Disk
@@ -50,7 +51,7 @@ class Node:
                  "cpu", "disk", "memory", "active", "admitted", "completed",
                  "static_misses", "cpu_speed", "disk_speed", "procs",
                  "failed", "failures", "backlog", "busy_slots", "transfers",
-                 "_release_cb")
+                 "_release_cb", "_tracer")
 
     def __init__(self, engine: Engine, cfg: SimConfig, node_id: int,
                  rng: np.random.Generator,
@@ -81,6 +82,8 @@ class Node:
         self.transfers = 0
         #: Cached bound callback (scheduled once per completed request).
         self._release_cb = self._release_slot
+        #: Observability tap (set by the cluster; ``None`` = disabled).
+        self._tracer = None
 
     # -- admission ------------------------------------------------------------
 
@@ -101,7 +104,11 @@ class Node:
             raise RuntimeError(f"node {self.node_id} is down")
         self.admitted += 1
         conn = self.cfg.connections
-        if conn.limited and self.busy_slots >= conn.max_processes:
+        backlogged = conn.limited and self.busy_slots >= conn.max_processes
+        tr = self._tracer
+        if tr is not None:
+            tr.record(ADMIT, request.req_id, self.node_id, (backlogged,))
+        if backlogged:
             self.backlog.append((request, dispatch_latency))
             return None
         return self._start(request, dispatch_latency)
@@ -120,6 +127,9 @@ class Node:
             insert_at = 1 if request.is_dynamic and plan[0][0] == CPU_BURST else 0
             plan.insert(insert_at, (IO_BURST, fault_io))
             proc.burst_remaining = plan[0][1]
+        tr = self._tracer
+        if tr is not None:
+            tr.record(START, request.req_id, self.node_id, (len(plan),))
         self.active += 1
         self.busy_slots += 1
         self.procs.add(proc)

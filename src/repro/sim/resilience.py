@@ -31,6 +31,7 @@ from typing import TYPE_CHECKING, Dict, Optional
 
 import numpy as np
 
+from repro.obs.trace import DROP, RETRY, SHED_LEVEL, TIMEOUT
 from repro.sim.engine import Event
 from repro.workload.request import Request
 
@@ -122,7 +123,7 @@ class ResilienceManager:
                  "_retry_ev", "drops", "retries", "timeouts", "completions",
                  "slo_violations", "shed_level", "shed_transitions",
                  "_shed_armed", "_stretch_ewma", "_dyn_completions",
-                 "_dyn_seen_at_tick")
+                 "_dyn_seen_at_tick", "_tracer")
 
     def __init__(self, cluster: "Cluster", cfg: ResilienceConfig):
         cfg.validate()
@@ -146,6 +147,8 @@ class ResilienceManager:
         self._stretch_ewma: Optional[float] = None
         self._dyn_completions = 0
         self._dyn_seen_at_tick = 0
+        #: Observability tap (set by the cluster; ``None`` = disabled).
+        self._tracer = None
 
     # -- admission gate --------------------------------------------------------
 
@@ -217,6 +220,9 @@ class ResilienceManager:
             delay *= 1.0 + self.cfg.jitter * (2.0 * self.rng.random() - 1.0)
         self._retry_ev[request.req_id] = self.cluster.engine.schedule(
             extra_delay + delay, self._retry, request)
+        if self._tracer is not None:
+            self._tracer.record(RETRY, request.req_id, -1,
+                                (n, extra_delay + delay))
         return True
 
     def _retry(self, request: Request) -> None:
@@ -229,6 +235,8 @@ class ResilienceManager:
         route = self.cluster._routes.pop(request.req_id, None)
         if route is None:
             return  # completed in the same instant
+        if self._tracer is not None:
+            self._tracer.record(TIMEOUT, request.req_id, route.node_id)
         self.cluster.nodes[route.node_id].abort_request(request.req_id)
         self.timeouts += 1
         self.handle_failure(request, "timeout")
@@ -243,6 +251,8 @@ class ResilienceManager:
         self._disarm(request.req_id)
         self.attempts.pop(request.req_id, None)
         self.drops[reason] = self.drops.get(reason, 0) + 1
+        if self._tracer is not None:
+            self._tracer.record(DROP, request.req_id, -1, (reason,))
 
     @property
     def total_dropped(self) -> int:
@@ -289,6 +299,8 @@ class ResilienceManager:
             level = 0
         if level != self.shed_level:
             self.shed_transitions += 1
+            if self._tracer is not None:
+                self._tracer.record_meta(SHED_LEVEL, self.shed_level, level)
             self.shed_level = level
             self._apply_pressure()
 

@@ -7,17 +7,29 @@ benchmark harnesses.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from repro.core.policies import Policy
 from repro.core.sampling import DemandSampler
+from repro.obs import Tracer, audit_cluster
 from repro.sim.cluster import Cluster
 from repro.sim.config import SimConfig
 from repro.sim.failures import FailurePolicy
 from repro.sim.metrics import MetricsReport
 from repro.sim.resilience import ResilienceConfig
 from repro.workload.request import Request
+
+#: Environment switch: a truthy value makes every :func:`replay` run with
+#: tracing on and a post-run trace audit (violations raise).  The pytest
+#: benchmark suite sets this so all figure benches are audited.
+AUDIT_ENV = "REPRO_AUDIT"
+
+
+def _env_audit() -> bool:
+    return os.environ.get(AUDIT_ENV, "").strip().lower() in (
+        "1", "true", "yes", "on")
 
 
 @dataclass(slots=True)
@@ -42,6 +54,8 @@ def replay(
     max_events: Optional[int] = None,
     failure_policy: Optional[FailurePolicy] = None,
     resilience: Optional[ResilienceConfig] = None,
+    tracer: Optional[Tracer] = None,
+    audit: Optional[bool] = None,
 ) -> ReplayResult:
     """Run one trace through one cluster configuration.
 
@@ -61,13 +75,27 @@ def replay(
     failure_policy, resilience:
         Passed through to :class:`Cluster` (crash semantics and the
         request-path resilience layer; both default off).
+    tracer:
+        Optional :class:`repro.obs.Tracer` to attach; spans survive on the
+        tracer after the run.  ``None`` leaves tracing disabled unless
+        ``audit`` turns it on.
+    audit:
+        Run the trace auditor over the finished run and raise
+        :class:`repro.obs.TraceAuditError` on any invariant violation.
+        Implies tracing (a throwaway tracer is created if none was passed).
+        ``None`` (default) defers to the ``REPRO_AUDIT`` environment
+        variable, so whole suites can be audited without plumbing.
     """
     if not requests:
         raise ValueError("empty trace")
     if not 0.0 <= warmup_fraction < 1.0:
         raise ValueError("warmup_fraction must be in [0, 1)")
+    if audit is None:
+        audit = _env_audit()
+    if audit and tracer is None:
+        tracer = Tracer()
     cluster = Cluster(cfg, policy, failure_policy=failure_policy,
-                      resilience=resilience)
+                      resilience=resilience, tracer=tracer)
     first = min(q.arrival_time for q in requests)
     last = max(q.arrival_time for q in requests)
     warmup = first + (last - first) * warmup_fraction
@@ -84,6 +112,8 @@ def replay(
         raise RuntimeError(
             f"no requests completed out of {n}; cluster hopelessly overloaded?"
         )
+    if audit:
+        audit_cluster(cluster).raise_if_failed()
     return ReplayResult(report=report, cluster=cluster)
 
 

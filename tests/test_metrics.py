@@ -100,3 +100,87 @@ class TestCollector:
         s = make_static(req_id=0, arrival=0.0, cpu=0.001)
         mc.record(finished_proc(s, 0.01), remote=False, on_master=True)
         assert len(mc) == 1
+
+
+class TestWindowSlicing:
+    """Warmup/cutoff edge cases: the report must degrade to well-defined
+    empty statistics, never raise or divide by zero."""
+
+    def _filled(self, n=5):
+        mc = MetricsCollector()
+        for i in range(n):
+            s = make_static(req_id=i, arrival=float(i), cpu=0.001)
+            mc.record(finished_proc(s, i + 0.002), remote=False,
+                      on_master=True)
+        return mc
+
+    def test_empty_window_after_all_arrivals(self):
+        mc = self._filled()
+        rep = mc.report(warmup=100.0)
+        assert rep.completed == 0
+        assert rep.duration == 0.0
+        assert rep.throughput == 0.0
+        assert math.isnan(rep.overall.stretch)
+        assert math.isnan(rep.static.mean_response)
+        assert rep.remote_dispatches == 0
+        assert rep.master_dynamic_fraction == 0.0
+
+    def test_cutoff_before_warmup_is_empty(self):
+        mc = self._filled()
+        rep = mc.report(warmup=3.0, cutoff=1.0)
+        assert rep.completed == 0
+        assert math.isnan(rep.overall.stretch)
+
+    def test_window_boundaries_are_inclusive(self):
+        mc = self._filled()
+        # warmup keeps arrivals >= warmup; cutoff keeps arrivals <= cutoff.
+        rep = mc.report(warmup=1.0, cutoff=3.0)
+        assert rep.completed == 3
+
+    def test_report_on_empty_collector(self):
+        mc = MetricsCollector()
+        rep = mc.report()
+        assert rep.completed == 0
+        assert rep.duration == 0.0
+        assert math.isnan(rep.overall.p95_response)
+
+    def test_all_dropped_run_reports_empty(self):
+        """A run where nothing completed (everything dropped/lost) must
+        still produce a coherent report from the empty collector."""
+        mc = MetricsCollector()
+        rep = mc.report(warmup=0.5, cutoff=20.0)
+        assert rep.completed == 0
+        assert rep.dynamic_total == 0
+        assert rep.master_dynamic == 0
+        assert math.isnan(rep.overall.stretch)
+        assert math.isnan(rep.dynamic.mean_demand)
+
+
+class TestSnapshotCache:
+    def test_snapshot_is_cached_between_reads(self):
+        mc = self._two_sample_collector()
+        first = mc.snapshot()
+        assert mc.snapshot() is first  # identical tuple, no rebuild
+        # Reports share the cached arrays rather than re-materialising.
+        mc.report()
+        assert mc.snapshot() is first
+
+    def test_record_invalidates_snapshot(self):
+        mc = self._two_sample_collector()
+        first = mc.snapshot()
+        s = make_static(req_id=99, arrival=5.0, cpu=0.001)
+        mc.record(finished_proc(s, 5.01), remote=False, on_master=True)
+        second = mc.snapshot()
+        assert second is not first
+        assert len(second[0]) == len(first[0]) + 1
+        # The new sample is visible through report() as well.
+        assert mc.report().completed == 3
+
+    @staticmethod
+    def _two_sample_collector():
+        mc = MetricsCollector()
+        for i in range(2):
+            s = make_static(req_id=i, arrival=float(i), cpu=0.001)
+            mc.record(finished_proc(s, i + 0.01), remote=False,
+                      on_master=True)
+        return mc

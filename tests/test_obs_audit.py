@@ -1,0 +1,198 @@
+"""Tests for the trace auditor: clean runs audit clean, and each check
+family catches the corruption it is responsible for."""
+
+import pytest
+
+from repro.core.policies import MSPolicy
+from repro.obs import TraceAuditError, Tracer, audit_cluster, audit_spans
+from repro.obs.trace import (
+    ADMIT,
+    ARRIVE,
+    COMPLETE,
+    CPU_OFF,
+    CPU_ON,
+    DISPATCH,
+    START,
+)
+from repro.sim.cluster import Cluster
+from repro.sim.config import SimConfig
+from repro.sim.failures import FailurePolicy
+from repro.sim.resilience import ResilienceConfig
+from repro.workload.generator import generate_trace
+from repro.workload.replay import replay
+from repro.workload.traces import KSU
+
+
+@pytest.fixture(scope="module")
+def clean_run():
+    """A small audited M/S replay; the span stream every tamper test
+    corrupts a copy of."""
+    cfg = SimConfig(num_nodes=4, seed=11)
+    trace = generate_trace(KSU, rate=90.0, duration=6.0, seed=2)
+    policy = MSPolicy(num_nodes=4, num_masters=2, seed=5)
+    tracer = Tracer()
+    result = replay(cfg, policy, trace, tracer=tracer, audit=False)
+    return result.cluster, tracer
+
+
+class TestCleanRuns:
+    def test_plain_replay_audits_clean(self, clean_run):
+        cluster, _ = clean_run
+        report = audit_cluster(cluster)
+        assert report.ok, report.render()
+        # Every check family must have actually done work.
+        for key in ("spans", "requests", "service_intervals",
+                    "reservation_decisions", "conservation_checks",
+                    "stretch_samples"):
+            assert report.checked[key] > 0, key
+
+    def test_crash_and_recovery_audits_clean(self):
+        cfg = SimConfig(num_nodes=5, seed=7)
+        trace = generate_trace(KSU, rate=150.0, duration=8.0, seed=3)
+        policy = MSPolicy(num_nodes=5, num_masters=2, seed=1)
+        cluster = Cluster(
+            cfg, policy, failure_policy=FailurePolicy(),
+            resilience=ResilienceConfig(deadline_dynamic=4.0, max_retries=2),
+            tracer=Tracer())
+        cluster.submit_many(trace)
+        cluster.engine.schedule(2.0, lambda: cluster.fail_node(3))
+        cluster.engine.schedule(4.5, lambda: cluster.recover_node(3))
+        deadline = 40.0
+        cluster.run(until=deadline)
+        extensions = 0
+        while cluster.pending_requests() > 0 and extensions < 30:
+            deadline += 10.0
+            cluster.run(until=deadline)
+            extensions += 1
+        report = audit_cluster(cluster)
+        assert report.ok, report.render()
+
+    def test_audit_cluster_requires_tracer(self):
+        cfg = SimConfig(num_nodes=2, seed=0)
+        cluster = Cluster(cfg, MSPolicy(num_nodes=2, num_masters=1, seed=0))
+        with pytest.raises(ValueError, match="tracer"):
+            audit_cluster(cluster)
+
+    def test_raise_if_failed_carries_report(self, clean_run):
+        cluster, tracer = clean_run
+        spans = list(tracer.spans)
+        spans.append((0.0, ARRIVE, 10 ** 9, -1, None))  # time goes backwards
+        report = audit_spans(spans)
+        with pytest.raises(TraceAuditError) as exc:
+            report.raise_if_failed()
+        assert exc.value.report is report
+        assert "causality" in str(exc.value)
+
+
+def _violations(report, check):
+    return [v for v in report.violations if v.check == check]
+
+
+class TestTamperDetection:
+    def test_time_reversal_is_causality_violation(self, clean_run):
+        _, tracer = clean_run
+        spans = list(tracer.spans)
+        spans[40], spans[800] = spans[800], spans[40]
+        report = audit_spans(spans)
+        assert _violations(report, "causality")
+
+    def test_missing_admit_breaks_lifecycle(self, clean_run):
+        _, tracer = clean_run
+        spans = list(tracer.spans)
+        idx = next(i for i, s in enumerate(spans) if s[1] == ADMIT)
+        del spans[idx]
+        report = audit_spans(spans)
+        bad = _violations(report, "lifecycle")
+        assert bad and any("'start'" in v.message for v in bad)
+
+    def test_span_after_terminal_breaks_lifecycle(self, clean_run):
+        _, tracer = clean_run
+        spans = list(tracer.spans)
+        idx = next(i for i, s in enumerate(spans) if s[1] == COMPLETE)
+        spans.append(spans[idx])  # request completes twice
+        report = audit_spans(spans)
+        bad = _violations(report, "lifecycle")
+        assert bad and any("terminal" in v.message for v in bad)
+
+    def test_wrong_node_breaks_lifecycle(self, clean_run):
+        _, tracer = clean_run
+        spans = list(tracer.spans)
+        idx = next(i for i, s in enumerate(spans) if s[1] == START)
+        t, kind, req, node, data = spans[idx]
+        spans[idx] = (t, kind, req, node + 1, data)
+        report = audit_spans(spans)
+        bad = _violations(report, "lifecycle")
+        assert bad and any("dispatched to node" in v.message for v in bad)
+
+    def test_double_booking_breaks_exclusivity(self, clean_run):
+        _, tracer = clean_run
+        spans = list(tracer.spans)
+        idx = next(i for i, s in enumerate(spans) if s[1] == CPU_ON)
+        t, kind, req, node, data = spans[idx]
+        spans.insert(idx + 1, (t, CPU_ON, req + 1, node, data))
+        spans.insert(idx + 3, (t, CPU_OFF, req + 1, node, data))
+        report = audit_spans(spans)
+        assert any("while still serving" in v.message
+                   for v in _violations(report, "exclusivity"))
+
+    def test_unreleased_device_breaks_exclusivity(self, clean_run):
+        _, tracer = clean_run
+        spans = list(tracer.spans)
+        # Drop the final CPU_OFF: device left busy at end of run.
+        idx = max(i for i, s in enumerate(spans) if s[1] == CPU_OFF)
+        del spans[idx]
+        report = audit_spans(spans, complete_run=True)
+        assert any("end of run" in v.message or "released" in v.message
+                   for v in _violations(report, "exclusivity"))
+        # An interrupted run waives only the end-of-run condition.
+        partial = audit_spans(spans[:idx], complete_run=False)
+        assert not _violations(partial, "exclusivity")
+
+    def test_closed_gate_master_dispatch_breaks_reservation(self):
+        # Synthetic stream: dynamic request dispatched to a master while
+        # master_fraction >= effective cap.
+        spans = [
+            (0.0, ARRIVE, 0, -1, (1, 0.5)),
+            (0.0, DISPATCH, 0, 0,
+             (True, True, 0.7, 1.1, False, 0.30, 0.45)),
+        ]
+        report = audit_spans(spans, complete_run=False)
+        bad = _violations(report, "reservation")
+        assert any("gate was closed" in v.message for v in bad)
+
+    def test_inconsistent_gate_verdict_breaks_reservation(self):
+        spans = [
+            (0.0, ARRIVE, 0, -1, (1, 0.5)),
+            # gate=True claimed, but fraction 0.45 >= cap 0.30.
+            (0.0, DISPATCH, 0, 3,
+             (True, False, 0.7, 1.1, True, 0.30, 0.45)),
+        ]
+        report = audit_spans(spans, complete_run=False)
+        bad = _violations(report, "reservation")
+        assert any("inconsistent" in v.message for v in bad)
+
+    def test_ledger_mismatch_breaks_conservation(self, clean_run):
+        cluster, tracer = clean_run
+        ledger = dict(cluster.conservation())
+        ledger["completed"] -= 1
+        ledger["balance"] = 1
+        report = audit_spans(tracer.spans, conservation=ledger)
+        assert len(_violations(report, "conservation")) >= 2
+
+    def test_tampered_demand_breaks_stretch(self, clean_run):
+        cluster, tracer = clean_run
+        spans = list(tracer.spans)
+        idx = next(i for i, s in enumerate(spans) if s[1] == COMPLETE)
+        t, kind, req, node, data = spans[idx]
+        spans[idx] = (t, kind, req, node, (data[0] * 2.0,) + data[1:])
+        report = audit_spans(spans, metrics_report=cluster.metrics.report())
+        assert _violations(report, "stretch")
+
+    def test_delayed_completion_breaks_stretch(self, clean_run):
+        cluster, tracer = clean_run
+        spans = list(tracer.spans)
+        idx = max(i for i, s in enumerate(spans) if s[1] == COMPLETE)
+        t, kind, req, node, data = spans[idx]
+        spans[idx] = (t + 5.0, kind, req, node, data)
+        report = audit_spans(spans, metrics_report=cluster.metrics.report())
+        assert _violations(report, "stretch")

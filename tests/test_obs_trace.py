@@ -1,0 +1,104 @@
+"""Unit tests for the span recorder and its serialisation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.obs import (
+    Tracer,
+    load_jsonl,
+    save_jsonl,
+    span_digest,
+    summarize_spans,
+)
+from repro.obs.trace import ARRIVE, COMPLETE, DISPATCH, RUN
+from repro.sim.engine import Engine
+
+
+def _sample_spans():
+    eng = Engine()
+    tr = Tracer()
+    tr.bind(eng)
+    tr.record(ARRIVE, 0, -1, (1, 0.25))
+    eng.schedule(1.5, tr.record, DISPATCH, 0, 3,
+                 (True, False, 0.7, 1.2, None, None, None))
+    eng.schedule(2.0, tr.record, COMPLETE, 0, 3, (0.25, True, False))
+    eng.run()
+    tr.record_meta(RUN, 2)
+    return tr
+
+
+class TestTracer:
+    def test_records_engine_time(self):
+        tr = _sample_spans()
+        assert [s[0] for s in tr.spans] == [0.0, 1.5, 2.0, 2.0]
+        assert [s[1] for s in tr.spans] == [ARRIVE, DISPATCH, COMPLETE, RUN]
+
+    def test_meta_spans_have_no_request(self):
+        tr = _sample_spans()
+        t, kind, req_id, node_id, data = tr.spans[-1]
+        assert (req_id, node_id) == (-1, -1)
+        assert data == (2,)
+
+    def test_len_and_clear(self):
+        tr = _sample_spans()
+        assert len(tr) == 4
+        tr.clear()
+        assert len(tr) == 0 and tr.spans == []
+
+
+class TestSerialisation:
+    def test_roundtrip_preserves_digest(self, tmp_path):
+        tr = _sample_spans()
+        path = tmp_path / "spans.jsonl"
+        save_jsonl(tr.spans, path, meta={"case": "roundtrip"})
+        loaded, header = load_jsonl(path)
+        assert header["count"] == len(tr.spans)
+        assert header["meta"] == {"case": "roundtrip"}
+        assert span_digest(loaded) == span_digest(tr.spans)
+        assert loaded[0][:4] == (0.0, ARRIVE, 0, -1)
+        assert loaded[0][4] == (1, 0.25)
+
+    def test_numpy_payloads_serialise(self, tmp_path):
+        spans = [(0.0, ARRIVE, 0, -1, (np.bool_(True), np.float64(0.5),
+                                       np.int64(3)))]
+        path = tmp_path / "np.jsonl"
+        save_jsonl(spans, path)
+        loaded, _ = load_jsonl(path)
+        assert loaded[0][4] == (True, 0.5, 3)
+        # The digest must agree between the numpy and plain encodings.
+        assert span_digest(spans) == span_digest(loaded)
+
+    def test_rejects_foreign_files(self, tmp_path):
+        path = tmp_path / "other.jsonl"
+        path.write_text('{"format":"something-else"}\n')
+        with pytest.raises(ValueError, match="not a repro.obs/1"):
+            load_jsonl(path)
+
+    def test_digest_is_order_sensitive(self):
+        tr = _sample_spans()
+        reordered = list(reversed(tr.spans))
+        assert span_digest(reordered) != span_digest(tr.spans)
+
+    def test_digest_sensitive_to_payload(self):
+        tr = _sample_spans()
+        tampered = list(tr.spans)
+        t, kind, req_id, node_id, data = tampered[0]
+        tampered[0] = (t, kind, req_id, node_id, (2, 0.25))
+        assert span_digest(tampered) != span_digest(tr.spans)
+
+
+class TestSummary:
+    def test_summary_counts(self):
+        tr = _sample_spans()
+        s = summarize_spans(tr.spans)
+        assert s["spans"] == 4
+        assert s["requests"] == 1          # req 0; meta spans excluded
+        assert s["nodes"] == 1             # node 3
+        assert s["t_min"] == 0.0 and s["t_max"] == 2.0
+        assert s["kinds"] == {ARRIVE: 1, DISPATCH: 1, COMPLETE: 1, RUN: 1}
+        assert s["digest"] == span_digest(tr.spans)
+
+    def test_empty_stream(self):
+        s = summarize_spans([])
+        assert s["spans"] == 0
+        assert s["t_min"] == 0.0 and s["t_max"] == 0.0

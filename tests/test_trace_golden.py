@@ -1,0 +1,92 @@
+"""Golden-trace regression: the span stream of a small fixed-seed M/S
+replay is committed to the repo; any silent change to dispatch order,
+device interleaving, or timestamps fails here with a span-level diff.
+
+Regenerate the golden file after an *intentional* scheduling change:
+
+    PYTHONPATH=src python tests/test_trace_golden.py --regen
+"""
+
+from pathlib import Path
+
+from repro.core.policies import MSPolicy
+from repro.obs import Tracer, load_jsonl, save_jsonl, span_digest
+from repro.sim.config import SimConfig
+from repro.workload.generator import generate_trace
+from repro.workload.replay import replay
+from repro.workload.traces import KSU
+
+GOLDEN = Path(__file__).parent / "data" / "golden_trace.jsonl"
+
+#: Frozen run parameters.  Changing ANY of these invalidates the golden
+#: file — regenerate it in the same commit.
+PARAMS = dict(nodes=4, masters=2, rate=40.0, duration=3.0,
+              trace_seed=9, sim_seed=11, policy_seed=3)
+
+
+def _golden_run() -> Tracer:
+    trace = generate_trace(KSU, rate=PARAMS["rate"],
+                           duration=PARAMS["duration"],
+                           seed=PARAMS["trace_seed"])
+    policy = MSPolicy(num_nodes=PARAMS["nodes"],
+                      num_masters=PARAMS["masters"],
+                      seed=PARAMS["policy_seed"])
+    tracer = Tracer()
+    replay(SimConfig(num_nodes=PARAMS["nodes"], seed=PARAMS["sim_seed"]),
+           policy, trace, tracer=tracer, audit=True)
+    return tracer
+
+
+def _span_line(span) -> str:
+    t, kind, req, node, data = span
+    return f"t={t:.9f} {kind} req={req} node={node} data={data!r}"
+
+
+def _diff_message(got, want) -> str:
+    """Human-readable first divergence between two span streams."""
+    limit = min(len(got), len(want))
+    at = next((i for i in range(limit)
+               if span_digest([got[i]]) != span_digest([want[i]])), limit)
+    lines = [f"span streams diverge at span #{at} "
+             f"(got {len(got)} spans, golden has {len(want)}):"]
+    for i in range(max(0, at - 2), min(limit, at + 3)):
+        marker = ">>" if i == at else "  "
+        lines.append(f"{marker} #{i} golden: {_span_line(want[i])}")
+        lines.append(f"{marker} #{i} got:    {_span_line(got[i])}")
+    lines.append("If this change to scheduling is intentional, regenerate "
+                 "with: PYTHONPATH=src python tests/test_trace_golden.py "
+                 "--regen")
+    return "\n".join(lines)
+
+
+def test_golden_trace_digest_is_stable():
+    golden_spans, header = load_jsonl(GOLDEN)
+    tracer = _golden_run()
+    got = span_digest(tracer.spans)
+    want = span_digest(golden_spans)
+    assert header["meta"]["digest"] == want, (
+        "golden file header digest does not match its own spans — the "
+        "file was hand-edited; regenerate it")
+    if got != want:
+        raise AssertionError(_diff_message(tracer.spans, golden_spans))
+
+
+def test_golden_file_replays_through_auditor():
+    """The committed stream itself passes the structural audit."""
+    from repro.obs import audit_spans
+
+    golden_spans, _ = load_jsonl(GOLDEN)
+    report = audit_spans(golden_spans)
+    assert report.ok, report.render()
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--regen" not in sys.argv:
+        raise SystemExit("refusing to regenerate without --regen")
+    tracer = _golden_run()
+    GOLDEN.parent.mkdir(parents=True, exist_ok=True)
+    save_jsonl(tracer.spans, GOLDEN,
+               meta={**PARAMS, "digest": span_digest(tracer.spans)})
+    print(f"wrote {len(tracer.spans)} spans to {GOLDEN}")
