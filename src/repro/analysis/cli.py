@@ -23,6 +23,11 @@ Commands
     the availability comparison.
 ``calibrate``
     Check the clean simulator against M/M/1.
+``serve / loadgen / live-validate``
+    Drive the :mod:`repro.live` subsystem: boot a real asyncio
+    master/slave cluster on localhost, replay a workload against it over
+    HTTP (optionally saving its auditable span stream), or cross-validate
+    live stretch against the simulator.
 ``bench``
     Run the perf suite (``--jobs N`` fans the grids over worker
     processes) and emit a machine-readable ``BENCH_<timestamp>.json``
@@ -35,6 +40,7 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro import __version__
 from repro.analysis import experiments
 from repro.analysis.reporting import format_table
 from repro.analysis.sweep import choose_masters
@@ -365,6 +371,101 @@ def cmd_calibrate(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """``repro serve``: boot a live loopback cluster and run until ^C."""
+    import asyncio
+
+    from repro.live.cluster import LiveCluster, LiveClusterConfig
+
+    async def _run() -> None:
+        cluster = LiveCluster(LiveClusterConfig(
+            num_slaves=args.slaves, master_workers=args.workers,
+            slave_workers=args.workers, seed=args.seed))
+        async with cluster:
+            m = cluster.master
+            print(f"master node 0: http://{m.host}:{m.http_port} "
+                  f"(heartbeat udp {m.udp_port}, cgi tcp {m.cgi_port})")
+            for slave_id, port in enumerate(cluster.slave_ports, start=1):
+                print(f"slave node {slave_id}: cgi tcp {port}")
+            print("endpoints: /req /healthz /control/stats /control/spans")
+            print("serving; Ctrl-C to stop", flush=True)
+            while True:
+                await asyncio.sleep(3600)
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        print("\nstopped")
+    return 0
+
+
+def cmd_loadgen(args: argparse.Namespace) -> int:
+    """``repro loadgen``: open-loop trace replay against a live master."""
+    import asyncio
+
+    from repro.live.loadgen import http_get, run_loadgen
+    from repro.live.validate import make_validation_trace
+
+    if not args.spawn and args.port is None:
+        print("loadgen needs --port (or --spawn to boot a cluster)",
+              file=sys.stderr)
+        return 2
+    trace = make_validation_trace(args.trace, rate=args.rate,
+                                  duration=args.duration, mu_h=args.mu_h,
+                                  inv_r=args.inv_r, seed=args.seed)
+
+    async def _replay(host: str, port: int):
+        result = await run_loadgen(host, port, trace,
+                                   time_scale=args.time_scale)
+        if args.spans:
+            status, body = await http_get(host, port, "/control/spans")
+            if status != 200:
+                raise RuntimeError(f"/control/spans returned HTTP {status}")
+            with open(args.spans, "w", encoding="utf-8") as fh:
+                fh.write(body.decode("utf-8"))
+        return result
+
+    async def _run():
+        if args.spawn:
+            from repro.live.cluster import LiveCluster, LiveClusterConfig
+            cluster = LiveCluster(LiveClusterConfig(num_slaves=args.slaves,
+                                                    seed=args.seed))
+            async with cluster:
+                assert cluster.master.http_port is not None
+                return await _replay(cluster.master.host,
+                                     cluster.master.http_port)
+        return await _replay(args.host, args.port)
+
+    result = asyncio.run(_run())
+    rows = [[k, f"{v:.4f}" if isinstance(v, float) else v]
+            for k, v in result.summary().items()]
+    print(format_table(["quantity", "value"], rows,
+                       title=f"loadgen: {len(trace)} requests "
+                             f"({args.trace}-like)"))
+    for message in result.error_messages[:5]:
+        print(f"  error: {message}", file=sys.stderr)
+    if args.spans:
+        print(f"wrote live span stream to {args.spans}")
+    if result.errors or (result.ok == 0 and result.submitted > 0):
+        return 1
+    return 0
+
+
+def cmd_live_validate(args: argparse.Namespace) -> int:
+    """``repro live-validate``: live vs simulated stretch comparison."""
+    import asyncio
+
+    from repro.live.validate import TOLERANCE, validate
+
+    tolerance = args.tolerance if args.tolerance is not None else TOLERANCE
+    result = asyncio.run(validate(
+        args.trace, rate=args.rate, duration=args.duration, mu_h=args.mu_h,
+        inv_r=args.inv_r, num_slaves=args.slaves, seed=args.seed,
+        tolerance=tolerance))
+    print(result.render())
+    return 0 if result.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse tree for all subcommands."""
     parser = argparse.ArgumentParser(
@@ -372,7 +473,9 @@ def build_parser() -> argparse.ArgumentParser:
         description=("Master/slave Web-cluster scheduling (SPAA'99 "
                      "reproduction)"),
     )
-    sub = parser.add_subparsers(dest="command", required=True)
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command")
 
     p = sub.add_parser("design", help="Theorem-1 master sizing")
     p.add_argument("--lam", type=float, required=True)
@@ -441,6 +544,43 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=cmd_calibrate)
 
+    p = sub.add_parser("serve",
+                       help="boot a live loopback master/slave cluster")
+    p.add_argument("--slaves", type=int, default=2)
+    p.add_argument("--workers", type=int, default=2,
+                   help="worker threads per node")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser("loadgen",
+                       help="replay a trace against a live master over HTTP")
+    _add_workload_args(p)
+    p.set_defaults(rate=60.0, duration=3.0, inv_r=12.0, mu_h=240.0)
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=None,
+                   help="HTTP port of a running master")
+    p.add_argument("--spawn", action="store_true",
+                   help="boot a loopback cluster for the duration of the run")
+    p.add_argument("--slaves", type=int, default=2,
+                   help="slave count for --spawn")
+    p.add_argument("--time-scale", type=float, default=1.0,
+                   help="stretch (>1) or compress (<1) inter-arrival gaps")
+    p.add_argument("--spans", metavar="OUT.jsonl",
+                   help="save the master's span stream (via /control/spans)")
+    p.set_defaults(func=cmd_loadgen)
+
+    p = sub.add_parser("live-validate",
+                       help="cross-validate live stretch against the "
+                            "simulator")
+    _add_workload_args(p)
+    p.set_defaults(trace="ADL", rate=60.0, duration=3.0, inv_r=12.0,
+                   mu_h=240.0)
+    p.add_argument("--slaves", type=int, default=2)
+    p.add_argument("--tolerance", type=float, default=None,
+                   help="live/sim stretch ratio band (default: "
+                        "repro.live.validate.TOLERANCE)")
+    p.set_defaults(func=cmd_live_validate)
+
     add_bench_parser(sub)
 
     return parser
@@ -450,6 +590,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    if getattr(args, "func", None) is None:
+        parser.print_help(sys.stderr)
+        print("\nrepro: error: a command is required "
+              "(pick one from the list above)", file=sys.stderr)
+        return 2
     return args.func(args)
 
 

@@ -113,6 +113,12 @@ class Policy(abc.ABC):
                     on_master: bool, node_id: int) -> None:
         """Completion feedback; default: ignore."""
 
+    def on_abort(self, request: Request, node_id: int) -> None:
+        """Forget in-flight bookkeeping for a request that will never
+        complete (timeout, dead node).  Unlike :meth:`on_complete` this
+        must not feed the response-time estimators — a failure elapsed
+        time is not a service-time observation.  Default: ignore."""
+
     def _stash_decision(self, w: float, eff_cpu: np.ndarray,
                         eff_disk: np.ndarray, node: int,
                         gate: Optional[bool]) -> None:
@@ -401,10 +407,52 @@ class MSPolicy(Policy):
             self.sampler.observe(request.type_key, request.cpu_demand,
                                  request.io_demand)
 
+    def on_abort(self, request: Request, node_id: int) -> None:
+        w = self._dispatched_w.pop(request.req_id, None)
+        if w is not None:
+            self._outstanding_cpu[node_id] = max(
+                0.0, self._outstanding_cpu[node_id] - w)
+            self._outstanding_disk[node_id] = max(
+                0.0, self._outstanding_disk[node_id] - (1.0 - w))
+
     @property
     def theta_cap(self) -> Optional[float]:
         """Current reservation cap, or ``None`` when reservation is off."""
         return self.reservation.theta_cap if self.reservation else None
+
+
+class FrontEndMSPolicy(MSPolicy):
+    """The M/S scheduler as run by *one* accepting front end.
+
+    :class:`MSPolicy` models the cluster's aggregate dispatch: it draws
+    the accepting master uniformly per request ("static requests are
+    processed at a random master").  A live deployment runs one policy
+    instance inside each master process, and the accepting node is pinned
+    by reality — whichever master's HTTP listener the request hit.  Static
+    requests execute on the accepting node; dynamic requests follow the
+    usual reservation-gated min-RSRC choice, with ``remote`` meaning "not
+    this process" (one intra-cluster dispatch hop).
+
+    Each front end carries its own reservation controller and sampler
+    state, mirroring the paper's implementation where every master makes
+    decisions from its own periodically-refreshed load view.
+    """
+
+    def __init__(self, num_nodes: int, num_masters: int, accept_node: int,
+                 **kwargs):
+        super().__init__(num_nodes, num_masters, **kwargs)
+        if accept_node not in self.master_ids:
+            raise ValueError(
+                f"accept_node {accept_node} is not a master "
+                f"(masters: {sorted(self.master_ids)})")
+        self.accept_node = accept_node
+
+    def route(self, request: Request, view: LoadView) -> Route:
+        if self.reservation is not None:
+            self.reservation.observe_arrival(request.kind, view.now)
+        if request.kind is not RequestKind.DYNAMIC:
+            return Route(self.accept_node, remote=False)
+        return self._route_dynamic(request, view, self.accept_node)
 
 
 class MSPrimePolicy(Policy):

@@ -1,0 +1,56 @@
+"""repro.live: the paper's master/slave cluster on real sockets.
+
+Where :mod:`repro.sim` replays the SPAA'99 scheduler inside a
+discrete-event model, ``repro.live`` runs the *same* scheduler objects —
+:class:`~repro.core.policies.FrontEndMSPolicy` with its reservation
+controller and demand sampler, fed through the
+:class:`~repro.core.policies.LoadView` protocol — as an actual asyncio
+serving cluster on localhost:
+
+* :mod:`~repro.live.kernel` — calibrated CPU-burn / sleep realisation of
+  request demands, plus the busy-time meter behind load reporting;
+* :mod:`~repro.live.protocol` — length-prefixed JSON framing for the
+  persistent remote-CGI connections;
+* :mod:`~repro.live.loadd` — UDP heartbeat daemon and the master-side
+  load table with rstat()-style staleness/suspicion semantics;
+* :mod:`~repro.live.node` — per-node worker pool, the framed CGI
+  service, and the slave process entry point;
+* :mod:`~repro.live.master` — the HTTP front end running the scheduler,
+  emitting auditable ``repro.obs`` spans;
+* :mod:`~repro.live.cluster` — loopback cluster orchestration (master
+  in-process, slaves as subprocesses);
+* :mod:`~repro.live.loadgen` — open-loop trace replay over HTTP;
+* :mod:`~repro.live.validate` — live-vs-simulated stretch
+  cross-validation.
+"""
+
+from repro.live.cluster import LiveCluster, LiveClusterConfig
+from repro.live.kernel import BusyMeter, LiveClock, burn_cpu, calibrate
+from repro.live.loadd import LiveLoadView, LoadReporter, LoadTable
+from repro.live.loadgen import LoadGenResult, run_loadgen
+from repro.live.master import LiveMetrics, MasterServer, PeerConnection
+from repro.live.node import CGIService, WorkerPool, run_slave
+from repro.live.validate import TOLERANCE, ValidationResult, validate
+
+__all__ = [
+    "BusyMeter",
+    "CGIService",
+    "LiveCluster",
+    "LiveClusterConfig",
+    "LiveClock",
+    "LiveLoadView",
+    "LiveMetrics",
+    "LoadGenResult",
+    "LoadReporter",
+    "LoadTable",
+    "MasterServer",
+    "PeerConnection",
+    "TOLERANCE",
+    "ValidationResult",
+    "WorkerPool",
+    "burn_cpu",
+    "calibrate",
+    "run_loadgen",
+    "run_slave",
+    "validate",
+]

@@ -1,0 +1,11 @@
+"""Subprocess entry point: ``python -m repro.live.slave``.
+
+Kept separate from :mod:`repro.live.node` (which the package
+``__init__`` imports) so ``runpy`` does not re-execute an
+already-imported module when the cluster orchestrator spawns slaves.
+"""
+
+from repro.live.node import main
+
+if __name__ == "__main__":   # pragma: no cover - subprocess entry
+    raise SystemExit(main())

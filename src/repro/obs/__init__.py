@@ -22,6 +22,7 @@ from repro.obs.audit import (
 from repro.obs.trace import (
     SPAN_FIELDS,
     Tracer,
+    iter_jsonl,
     load_jsonl,
     save_jsonl,
     span_digest,
@@ -36,6 +37,7 @@ __all__ = [
     "Violation",
     "audit_cluster",
     "audit_spans",
+    "iter_jsonl",
     "load_jsonl",
     "save_jsonl",
     "span_digest",

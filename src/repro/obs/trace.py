@@ -155,16 +155,25 @@ def _encode(span: Span) -> str:
         separators=(",", ":"), default=_json_default)
 
 
+def iter_jsonl(spans: Sequence[Span],
+               meta: Optional[dict] = None) -> Iterable[str]:
+    """Yield the JSONL representation line by line (header first, no
+    trailing newlines).  Shared by :func:`save_jsonl` and network servers
+    that stream a span file without touching disk (``repro.live``)."""
+    header = {"format": "repro.obs/1", "fields": list(SPAN_FIELDS),
+              "count": len(spans)}
+    if meta:
+        header["meta"] = meta
+    yield json.dumps(header, separators=(",", ":"))
+    for span in spans:
+        yield _encode(span)
+
+
 def save_jsonl(spans: Sequence[Span], path, meta: Optional[dict] = None) -> None:
     """Write spans as JSONL: one meta header line, then one span per line."""
     with open(path, "w", encoding="utf-8") as fh:
-        header = {"format": "repro.obs/1", "fields": list(SPAN_FIELDS),
-                  "count": len(spans)}
-        if meta:
-            header["meta"] = meta
-        fh.write(json.dumps(header, separators=(",", ":")) + "\n")
-        for span in spans:
-            fh.write(_encode(span) + "\n")
+        for line in iter_jsonl(spans, meta):
+            fh.write(line + "\n")
 
 
 def load_jsonl(path) -> Tuple[List[Span], dict]:

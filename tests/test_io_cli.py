@@ -137,6 +137,14 @@ class TestCLI:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["frobnicate"])
 
-    def test_requires_command(self):
-        with pytest.raises(SystemExit):
-            build_parser().parse_args([])
+    def test_bare_invocation_prints_help_and_exits_2(self, capsys):
+        # No subcommand is not a crash: help on stderr, exit status 2.
+        assert main([]) == 2
+        err = capsys.readouterr().err
+        assert "usage:" in err and "a command is required" in err
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        assert "repro" in capsys.readouterr().out

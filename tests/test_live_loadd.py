@@ -1,0 +1,134 @@
+"""Unit tests for the live load daemon: heartbeats, staleness, suspicion."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.live.kernel import BusyMeter, LiveClock
+from repro.live.loadd import (
+    LiveLoadView,
+    LoadReporter,
+    LoadTable,
+    decode_heartbeat,
+    encode_heartbeat,
+)
+from repro.sim.config import MonitorConfig
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0) -> None:
+        self.now = now
+
+
+def cfg() -> MonitorConfig:
+    return MonitorConfig(period=0.2, smoothing=0.7, suspect_after=1.0,
+                         probation_samples=2)
+
+
+def test_heartbeat_codec_and_garbage():
+    payload = encode_heartbeat(3, 17, 0.93, 0.71, 2)
+    msg = decode_heartbeat(payload)
+    assert msg == {"node": 3, "seq": 17, "cpu_idle": 0.93,
+                   "disk_avail": 0.71, "active": 2}
+    assert decode_heartbeat(b"\xff\x00 not json") is None
+    assert decode_heartbeat(b'{"seq": 1}') is None   # no node field
+
+
+def test_table_rejects_replayed_and_out_of_range():
+    table = LoadTable(2, cfg())
+    assert table.observe(0, 1, 0.5, 0.5, 1, now=0.0)
+    assert not table.observe(0, 1, 0.5, 0.5, 1, now=0.1)   # duplicate seq
+    assert not table.observe(0, 0, 0.5, 0.5, 1, now=0.1)   # reordered
+    assert not table.observe(5, 2, 0.5, 0.5, 1, now=0.1)   # unknown node
+    assert table.rejected == 3
+    assert table.heartbeats == 1
+
+
+def test_smoothing_is_ewma():
+    table = LoadTable(1, cfg())
+    table.observe(0, 1, 0.0, 0.0, 0, now=0.0)
+    # smoothing 0.7 over the optimistic 1.0 prior.
+    assert np.isclose(table.cpu_idle[0], 0.3)
+    table.observe(0, 2, 0.0, 0.0, 0, now=0.2)
+    assert np.isclose(table.cpu_idle[0], 0.09)
+
+
+def test_never_heard_is_suspect_until_probation_clears():
+    table = LoadTable(2, cfg())
+    view = LiveLoadView(table, FakeClock(0.0))
+    assert view.is_suspect(0) and view.is_suspect(1)
+    assert not view.all_healthy()
+    # One heartbeat is not enough (probation_samples=2)...
+    table.observe(0, 1, 1.0, 1.0, 0, now=0.0)
+    assert view.is_suspect(0)
+    # ...a second consecutive one clears it.
+    table.observe(0, 2, 1.0, 1.0, 0, now=0.2)
+    assert not view.is_suspect(0)
+    assert view.is_suspect(1)
+    assert list(view.healthy_array()) == [True, False]
+
+
+def test_staleness_restarts_probation():
+    table = LoadTable(1, cfg())
+    clock = FakeClock(0.0)
+    view = LiveLoadView(table, clock)
+    table.observe(0, 1, 1.0, 1.0, 0, now=0.0)
+    table.observe(0, 2, 1.0, 1.0, 0, now=0.2)
+    assert not view.is_suspect(0)
+    # Silence for longer than suspect_after -> suspect again.
+    clock.now = 2.0
+    assert view.is_suspect(0)
+    # A single heartbeat after the gap is on probation...
+    table.observe(0, 3, 1.0, 1.0, 0, now=2.0)
+    clock.now = 2.1
+    assert view.is_suspect(0)
+    # ...and an unbroken stream works it off.
+    table.observe(0, 4, 1.0, 1.0, 0, now=2.2)
+    clock.now = 2.3
+    assert not view.is_suspect(0)
+
+
+def test_dead_flag_and_reconnect_probation():
+    table = LoadTable(1, cfg())
+    view = LiveLoadView(table, FakeClock(0.5))
+    table.observe(0, 1, 1.0, 1.0, 0, now=0.0)
+    table.observe(0, 2, 1.0, 1.0, 0, now=0.2)
+    assert view.all_healthy() and view.all_alive()
+    table.mark_dead(0)
+    assert not view.is_alive(0)
+    assert not view.all_healthy()
+    table.mark_alive(0)
+    # Reconnection puts the node back on probation despite fresh samples.
+    assert view.is_alive(0)
+    assert view.is_suspect(0)
+
+
+def test_busy_meter_windows():
+    meter = BusyMeter(capacity=2, now=0.0)
+    meter.add(0.5, 1.0)
+    cpu_idle, disk_avail = meter.sample(now=1.0)
+    # 0.5 busy-seconds over a 1 s window with capacity 2 -> 25% busy.
+    assert np.isclose(cpu_idle, 0.75)
+    assert np.isclose(disk_avail, 0.5)
+    # The next window starts fresh.
+    cpu_idle, disk_avail = meter.sample(now=2.0)
+    assert cpu_idle == 1.0 and disk_avail == 1.0
+
+
+def test_reporter_beat_once_delivers_locally():
+    table = LoadTable(1, cfg())
+    clock = LiveClock()
+    meter = BusyMeter(capacity=1, now=clock.now)
+    seen = []
+
+    def local_observe(payload: bytes) -> None:
+        seen.append(payload)
+        table.observe_datagram(payload, clock.now)
+
+    reporter = LoadReporter(0, meter, clock, local_observe=local_observe,
+                            cfg=cfg())
+    reporter.beat_once(clock.now)
+    reporter.beat_once(clock.now)
+    assert len(seen) == 2
+    assert table.heartbeats == 2
+    assert reporter.seq == 2
