@@ -28,6 +28,15 @@ Commands
     master/slave cluster on localhost, replay a workload against it over
     HTTP (optionally saving its auditable span stream), or cross-validate
     live stretch against the simulator.
+``control``
+    Arm the :mod:`repro.control` online control plane.  Bare, replay the
+    workload-drift scenario in the simulator — a frozen Theorem-1 design
+    against a controlled cluster that re-estimates the workload and
+    re-solves Theorem 1 mid-run — and print the comparison plus the
+    applied actions; ``--live`` attaches the reconciliation loop to a
+    real loopback cluster instead.  ``--dry-run`` logs decisions without
+    actuating; ``--spans`` saves the controlled run's auditable span
+    stream (CONTROL spans included).
 ``bench``
     Run the perf suite (``--jobs N`` fans the grids over worker
     processes) and emit a machine-readable ``BENCH_<timestamp>.json``
@@ -451,6 +460,99 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
     return 0
 
 
+def _control_config(args: argparse.Namespace):
+    from repro.control import ControlConfig
+
+    cfg = ControlConfig(
+        period=args.period, cooldown=args.cooldown,
+        min_masters=args.min_masters, max_masters=args.max_masters,
+        dry_run=args.dry_run,
+    )
+    cfg.validate()
+    return cfg
+
+
+def cmd_control(args: argparse.Namespace) -> int:
+    """``repro control``: online re-solving of Theorem 1 against a
+    running cluster (simulated drift scenario, or ``--live``)."""
+    cfg = _control_config(args)
+    if args.live:
+        return _control_live(args, cfg)
+    tracer = Tracer()
+    result = experiments.run_control_drift(
+        trace_name=args.trace, p=args.nodes, mu_h=args.mu_h,
+        inv_r=int(args.inv_r), seed=args.seed, control=cfg,
+        tracer=tracer)
+    print(result.render())
+    if args.dry_run:
+        print("dry-run: decisions were logged as CONTROL spans but "
+              "nothing was actuated")
+    if args.spans:
+        save_jsonl(tracer.spans, args.spans, meta={
+            "mode": "control-drift", "trace": args.trace,
+            "nodes": args.nodes, "dry_run": args.dry_run,
+            "seed": args.seed,
+        })
+        print(f"wrote controlled-run span stream to {args.spans}")
+    return 0
+
+
+def _control_live(args: argparse.Namespace, cfg) -> int:
+    """``repro control --live``: reconciliation loop on a real cluster."""
+    import asyncio
+
+    from repro.control import LiveControlLoop
+    from repro.live.cluster import LiveCluster, LiveClusterConfig
+    from repro.live.loadgen import run_loadgen
+    from repro.live.validate import make_validation_trace
+
+    trace = make_validation_trace(args.trace, rate=args.rate,
+                                  duration=args.duration, mu_h=args.mu_h,
+                                  inv_r=args.inv_r, seed=args.seed)
+
+    async def _run():
+        cluster = LiveCluster(LiveClusterConfig(num_slaves=args.slaves,
+                                                seed=args.seed))
+        async with cluster:
+            loop = LiveControlLoop(cluster.master, cfg).start()
+            try:
+                assert cluster.master.http_port is not None
+                result = await run_loadgen(cluster.master.host,
+                                           cluster.master.http_port, trace,
+                                           time_scale=args.time_scale)
+            finally:
+                await loop.stop()
+            spans = (list(cluster.master.tracer.spans)
+                     if cluster.master.tracer is not None else [])
+            return result, spans, loop.controller
+
+    result, spans, controller = asyncio.run(_run())
+    rows = [[k, f"{v:.4f}" if isinstance(v, float) else v]
+            for k, v in result.summary().items()]
+    rows += [["control ticks", controller.ticks],
+             ["actions applied", len(controller.applied)],
+             ["actions proposed", len(controller.proposed)]]
+    print(format_table(["quantity", "value"], rows,
+                       title=f"live controlled run: {len(trace)} requests "
+                             f"({args.trace}-like)"))
+    for action in controller.applied:
+        print(f"  applied: {action.kind} node={action.node_id} "
+              f"value={action.value} ({action.reason})")
+    report = audit_spans(spans)
+    if args.spans:
+        save_jsonl(spans, args.spans, meta={
+            "mode": "control-live", "trace": args.trace,
+            "slaves": args.slaves, "dry_run": args.dry_run,
+            "audit_ok": report.ok,
+        })
+        print(f"wrote live span stream to {args.spans}")
+    if not report.ok:
+        print(report.render(), file=sys.stderr)
+        return 1
+    print(f"audit: clean ({report.checked})")
+    return 1 if result.errors else 0
+
+
 def cmd_live_validate(args: argparse.Namespace) -> int:
     """``repro live-validate``: live vs simulated stretch comparison."""
     import asyncio
@@ -580,6 +682,32 @@ def build_parser() -> argparse.ArgumentParser:
                    help="live/sim stretch ratio band (default: "
                         "repro.live.validate.TOLERANCE)")
     p.set_defaults(func=cmd_live_validate)
+
+    p = sub.add_parser("control",
+                       help="online control plane: re-solve Theorem 1 "
+                            "against a running cluster")
+    _add_workload_args(p)
+    p.add_argument("--nodes", type=int, default=8,
+                   help="cluster size for the sim drift scenario")
+    p.add_argument("--period", type=float, default=0.5,
+                   help="reconciliation period, seconds")
+    p.add_argument("--cooldown", type=float, default=2.0,
+                   help="minimum spacing between role transitions")
+    p.add_argument("--min-masters", type=int, default=1)
+    p.add_argument("--max-masters", type=int, default=None,
+                   help="role-step ceiling (default p-1)")
+    p.add_argument("--dry-run", action="store_true",
+                   help="log decisions as CONTROL spans, actuate nothing")
+    p.add_argument("--spans", metavar="OUT.jsonl",
+                   help="save the controlled run's span stream")
+    p.add_argument("--live", action="store_true",
+                   help="attach the loop to a real loopback cluster "
+                        "instead of the sim drift scenario")
+    p.add_argument("--slaves", type=int, default=2,
+                   help="slave count for --live")
+    p.add_argument("--time-scale", type=float, default=1.0,
+                   help="inter-arrival scaling for --live")
+    p.set_defaults(rate=60.0, func=cmd_control)
 
     add_bench_parser(sub)
 

@@ -9,7 +9,10 @@ larger ``duration``/rate grids to approach the paper's sizes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.control import ControlConfig
 
 import numpy as np
 
@@ -649,6 +652,7 @@ def run_chaos(
     resilience_cfg: Optional[ResilienceConfig] = None,
     include_reference: bool = True,
     audit: bool = True,
+    control: Optional["ControlConfig"] = None,
 ) -> ChaosResult:
     """Drive one chaos scenario against seed-behaviour and resilient M/S.
 
@@ -660,6 +664,11 @@ def run_chaos(
     * ``baseline`` — chaos with seed semantics (no deadlines/retry budget
       /shedding; crashed work restarts per the failure policy);
     * ``resilient`` — chaos with the resilience layer armed.
+
+    With ``control`` set (a :class:`repro.control.ControlConfig`), every
+    variant also runs with the online control plane attached, so role
+    transitions race the scenario's crash/recovery events and the audit
+    additionally proves the CONTROL-span invariants.
 
     The request-conservation invariant is asserted on every variant, and
     with ``audit=True`` (the default) each variant also runs with tracing
@@ -700,6 +709,10 @@ def run_chaos(
         cluster = Cluster(SimConfig(num_nodes=p, seed=seed),
                           policy, failure_policy=failure_policy,
                           resilience=res, tracer=tracer)
+        if control is not None:
+            from repro.control import SimControlLoop
+
+            SimControlLoop(cluster, control).start()
         if inject:
             scenario.apply(cluster, duration,
                            np.random.default_rng(seed + 17))
@@ -759,3 +772,228 @@ def run_chaos_suite(
 
     payloads = [dict(kwargs, scenario=name) for name in scenarios]
     return run_values(_chaos_task, payloads, jobs)
+
+
+# ---------------------------------------------------------------------------
+# Control drift — online control plane vs a frozen Theorem-1 design
+# ---------------------------------------------------------------------------
+
+
+@dataclass(slots=True)
+class DriftPhase:
+    """One stationary phase of the drift scenario (filled in by the run)."""
+
+    pct_cgi: float          # CGI percentage, 0-100
+    utilization: float      # target single-server offered load / p
+    duration: float         # phase span, virtual seconds
+    rate: float = 0.0       # iso-utilisation arrival rate (derived)
+    requests: int = 0       # generated request count
+    m_opt: int = 0          # Theorem-1 optimal masters for this phase
+    analytic_sm: float = 0.0  # Theorem-1 predicted M/S stretch at m_opt
+
+
+@dataclass(slots=True)
+class ControlDriftResult:
+    """Frozen-design vs controlled cluster on a workload-drift trace."""
+
+    trace: str
+    p: int
+    m_frozen: int
+    phases: List[DriftPhase]
+    frozen_stretch: float
+    controlled_stretch: float
+    #: Request-weighted mean of the per-phase analytic optima — the
+    #: stationary lower bound a clairvoyant per-phase design would see.
+    analytic_sm: float
+    #: ``(kind, node_id, value)`` of every *applied* control action.
+    actions: List[Tuple[str, int, object]]
+    final_masters: Tuple[int, ...]
+    ticks: int
+    audited: bool
+    dry_run: bool
+    background_jobs: int = 0
+
+    @property
+    def margin(self) -> float:
+        """Fractional stretch improvement of controlled over frozen."""
+        return self.frozen_stretch / self.controlled_stretch - 1.0
+
+    @property
+    def optimality_gap(self) -> float:
+        """Controlled stretch over the per-phase analytic optimum."""
+        return self.controlled_stretch / self.analytic_sm
+
+    def render(self) -> str:
+        rows = [[f"phase {i}", f"{ph.pct_cgi:.0f}%", f"{ph.rate:.0f}",
+                 f"{ph.duration:.0f}s", ph.requests, ph.m_opt,
+                 f"{ph.analytic_sm:.3f}"]
+                for i, ph in enumerate(self.phases)]
+        txt = format_table(
+            ["phase", "cgi", "rate/s", "span", "requests", "m*", "SM*"],
+            rows,
+            title=(f"Control drift on {self.trace}-like trace, p={self.p} "
+                   f"(frozen design m={self.m_frozen})"),
+        )
+        kinds: Dict[str, int] = {}
+        for kind, _node, _value in self.actions:
+            kinds[kind] = kinds.get(kind, 0) + 1
+        acted = ", ".join(f"{k}x{v}" for k, v in sorted(kinds.items())) \
+            or "none"
+        txt += (
+            f"\nfrozen stretch      {self.frozen_stretch:.3f}"
+            f"\ncontrolled stretch  {self.controlled_stretch:.3f}"
+            f"  ({'dry-run, no actuation' if self.dry_run else acted})"
+            f"\nanalytic optimum    {self.analytic_sm:.3f}"
+            f"  (request-weighted per-phase Theorem 1)"
+            f"\nmargin              {self.margin * 100:+.1f}%"
+            f"  (gap to optimum {self.optimality_gap:.2f}x)"
+            f"\nfinal masters       {list(self.final_masters)}"
+            f"  after {self.ticks} control ticks"
+        )
+        if self.background_jobs:
+            txt += f"\nbackground jobs     {self.background_jobs} (confounder)"
+        return txt
+
+
+def drift_trace(spec: TraceSpec,
+                phases: Sequence[DriftPhase],
+                mu_h: float, r: float, p: int,
+                seed: int = 0) -> List[Request]:
+    """Concatenate one iso-utilisation sub-trace per phase.
+
+    Each phase replays ``spec`` with its CGI share overridden, at the
+    arrival rate that pins the single-server offered load at
+    ``utilization * p`` *for that phase's mix* — so the drift is a mix
+    shift, not a trivial overload.  Phase fields (rate, request count)
+    are filled in in place; request ids are globally renumbered.
+    """
+    import dataclasses
+
+    out: List[Request] = []
+    start = 0.0
+    for i, ph in enumerate(phases):
+        sub_spec = dataclasses.replace(spec, pct_cgi=ph.pct_cgi)
+        ph.rate = iso_load_rate(sub_spec, mu_h, r, p, ph.utilization)
+        sub = generate_trace(sub_spec, rate=ph.rate, duration=ph.duration,
+                             mu_h=mu_h, r=r, seed=seed + 31 * i,
+                             start=start)
+        ph.requests = len(sub)
+        out.extend(sub)
+        start += ph.duration
+    for i, req in enumerate(out):
+        req.req_id = i
+    return out
+
+
+def run_control_drift(
+    trace_name: str = "UCB",
+    p: int = 8,
+    mu_h: float = 1200.0,
+    inv_r: int = 40,
+    phase_specs: Sequence[Tuple[float, float, float]] = (
+        (20.0, 0.60, 4.0), (5.0, 0.60, 10.0)),
+    seed: int = 0,
+    control: Optional["ControlConfig"] = None,
+    dry_run: bool = False,
+    audit: bool = True,
+    drain: float = 30.0,
+    noise: Optional[object] = None,
+    tracer: Optional[Tracer] = None,
+) -> ControlDriftResult:
+    """The control plane's headline scenario: mid-run workload drift.
+
+    A two-phase (or longer) trace ramps the dynamic-request share —
+    ``phase_specs`` is ``(pct_cgi, utilization, duration)`` per phase —
+    and the same trace is replayed twice under M/S policies sized by
+    Theorem 1 *for phase 0*:
+
+    * **frozen** — that design stays in force for the whole run (the
+      seed repo's behaviour: design once, never look back);
+    * **controlled** — a :class:`repro.control.SimControlLoop` with
+      ``control`` (default :class:`~repro.control.ControlConfig`)
+      estimates the live workload and re-solves Theorem 1 periodically,
+      retuning theta'_2 / the RSRC weight and stepping the master set.
+
+    Both runs are trace-audited when ``audit`` is set (the controlled
+    one including the CONTROL-span consistency invariant).  ``noise``
+    optionally attaches a :class:`repro.testbed.noise.NoiseConfig`-driven
+    background-job confounder to *both* variants, exercising the
+    estimator under un-modelled load.  ``dry_run`` arms the controller in
+    shadow mode: decisions are logged but never actuated, so the two
+    variants must then agree up to background-load jitter.
+    """
+    from repro.control import ControlConfig, SimControlLoop
+    from repro.testbed.noise import BackgroundLoad
+
+    spec = TRACES[trace_name]
+    r = 1.0 / inv_r
+    phases = [DriftPhase(pct_cgi=c, utilization=u, duration=d)
+              for c, u, d in phase_specs]
+    trace = drift_trace(spec, phases, mu_h, r, p, seed=seed)
+    total_span = sum(ph.duration for ph in phases)
+
+    # Per-phase analytic optima (the clairvoyant stationary bound).
+    import dataclasses
+
+    for ph in phases:
+        w = Workload.from_ratios(
+            lam=ph.rate,
+            a=dataclasses.replace(spec, pct_cgi=ph.pct_cgi).arrival_ratio_a,
+            mu_h=mu_h, r=r, p=p)
+        design = optimal_masters(w)
+        ph.m_opt, ph.analytic_sm = design.m, design.sm
+    weight = sum(ph.requests for ph in phases)
+    analytic_sm = sum(ph.analytic_sm * ph.requests for ph in phases) / weight
+
+    m_frozen = choose_masters(
+        dataclasses.replace(spec, pct_cgi=phases[0].pct_cgi),
+        phases[0].rate, mu_h, r, p)
+    sampler = pretrain_sampler(trace, seed=seed)
+    warmup = trace[0].arrival_time + 0.1 * total_span
+
+    if control is None:
+        control = ControlConfig()
+    if dry_run:
+        control = dataclasses.replace(control, dry_run=True)
+
+    def one_run(control_cfg, run_tracer=None):
+        policy = make_ms(p, m_frozen, sampler=sampler, seed=seed + 5)
+        if run_tracer is None and audit:
+            run_tracer = Tracer()
+        cluster = Cluster(SimConfig(num_nodes=p, static_rate=mu_h,
+                                    seed=seed), policy, tracer=run_tracer)
+        loop = None
+        if control_cfg is not None:
+            loop = SimControlLoop(cluster, control_cfg).start()
+        bg = None
+        if noise is not None:
+            bg = BackgroundLoad(cluster, noise, stop_at=total_span)
+            bg.start()
+        cluster.submit_many(trace)
+        deadline = total_span + drain
+        cluster.run(until=deadline)
+        extensions = 0
+        while (any(node.active for node in cluster.nodes)
+               and extensions < 20):
+            deadline += drain
+            cluster.run(until=deadline)
+            extensions += 1
+        cluster.assert_conservation()
+        if audit and run_tracer is not None:
+            audit_cluster(cluster).raise_if_failed()
+        stretch = cluster.metrics.report(warmup=warmup).overall.stretch
+        return stretch, loop, cluster, bg
+
+    frozen_stretch, _, _, _ = one_run(None)
+    controlled_stretch, loop, cluster, bg = one_run(control, tracer)
+    ctl = loop.controller
+    return ControlDriftResult(
+        trace=trace_name, p=p, m_frozen=m_frozen, phases=phases,
+        frozen_stretch=frozen_stretch,
+        controlled_stretch=controlled_stretch,
+        analytic_sm=analytic_sm,
+        actions=[(a.kind, a.node_id, a.value) for a in ctl.applied],
+        final_masters=tuple(sorted(cluster.policy.master_ids)),
+        ticks=ctl.ticks, audited=audit, dry_run=control.dry_run,
+        background_jobs=bg.injected if bg is not None else 0,
+    )

@@ -1,0 +1,66 @@
+"""Online control plane: estimate the workload, re-solve Theorem 1, act.
+
+The paper's design machinery (``theta_bounds`` / ``optimal_masters``)
+is exact but static — it picks ``m`` and theta'_2 for one workload and
+freezes them.  ``repro.control`` closes the loop online, on both
+substrates (simulator and live cluster):
+
+* :mod:`~repro.control.estimator` — EWMA estimation of the Theorem-1
+  ``Workload`` vector (arrival ratio ``a``, service demands, CGI
+  CPU/disk split -> RSRC weight ``w``) from completed requests, with
+  confidence guards so a cold window never actuates;
+* :mod:`~repro.control.controller` — the periodic reconciliation loop
+  emitting typed :class:`~repro.control.controller.ControlAction`\\ s
+  (retune theta'_2, refresh ``w``, promote/demote one node) behind
+  hysteresis, cooldown, and master-count clamps;
+* :mod:`~repro.control.actuator` — substrate adapters that apply those
+  actions to a running :class:`~repro.sim.cluster.Cluster` or drive the
+  live wire protocol's ROLE frames;
+* :mod:`~repro.control.log` — every estimate/decision/actuation as
+  CONTROL obs spans, so ``repro trace --audit`` can prove dispatches
+  matched the configuration in force and actions respected cooldown.
+
+Entry points: ``repro control`` (CLI), ``replay(control=...)`` for
+simulated runs, :class:`~repro.control.actuator.LiveControlLoop` for a
+live master.
+"""
+
+from repro.control.actuator import (
+    LiveAdapter,
+    LiveControlLoop,
+    SimAdapter,
+    SimControlLoop,
+)
+from repro.control.controller import (
+    DEMOTE,
+    PROMOTE,
+    RETUNE_THETA,
+    SET_W,
+    ControlAction,
+    ControlConfig,
+    Controller,
+)
+from repro.control.estimator import (
+    EstimatorConfig,
+    WorkloadEstimate,
+    WorkloadEstimator,
+)
+from repro.control.log import ControlLog
+
+__all__ = [
+    "ControlAction",
+    "ControlConfig",
+    "ControlLog",
+    "Controller",
+    "DEMOTE",
+    "EstimatorConfig",
+    "LiveAdapter",
+    "LiveControlLoop",
+    "PROMOTE",
+    "RETUNE_THETA",
+    "SET_W",
+    "SimAdapter",
+    "SimControlLoop",
+    "WorkloadEstimate",
+    "WorkloadEstimator",
+]

@@ -1,0 +1,90 @@
+"""Control-plane event log: every estimate, decision, and actuation as spans.
+
+The control plane never trusts itself silently — each tick's estimate,
+each reconciliation decision, and each applied (or dry-run) action is
+recorded as a :data:`repro.obs.trace.CONTROL` span on the same tracer
+that carries the request lifecycle.  The trace auditor's control pass
+(:mod:`repro.obs.audit`) replays this stream to prove that every
+observed dispatch was consistent with the theta'_2/role configuration in
+force at its timestamp and that role actions respect the cooldown.
+
+Span payloads are tagged tuples (first element is the event name) so the
+stream stays self-describing after a JSONL round trip:
+
+``("attach", m, p, period, cooldown, min_m, max_m, theta0, own_cap)``
+    Controller attached.  ``own_cap`` tells the auditor whether the
+    control plane took exclusive ownership of the reservation cap
+    (False under ``--dry-run``, where nothing is actuated).
+``("roles", [master ids...])``
+    Master set in force — emitted at attach and after every applied
+    role change, so membership at any timestamp is reconstructible.
+``("estimate", a, r, w, rate, samples)``
+    Folded estimator state this tick (values may be None while cold).
+``("decision", m_target, m_current, theta_target, reason)``
+    What the re-solve concluded, even when no action follows.
+``("action", kind, node_id, value, applied)``
+    A typed :class:`~repro.control.controller.ControlAction`;
+    ``applied`` is False for dry-run (and refused) actions.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, TYPE_CHECKING
+
+from repro.obs.trace import CONTROL, Tracer
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.control.controller import ControlAction, ControlConfig
+
+__all__ = ["ControlLog"]
+
+
+class ControlLog:
+    """Span-emitting sink for control-plane events.
+
+    No-op when constructed without a tracer, mirroring the ``_tracer``
+    convention used by the rest of the codebase: an untraced controlled
+    run pays one ``None`` check per event.
+    """
+
+    __slots__ = ("tracer",)
+
+    def __init__(self, tracer: Optional[Tracer] = None) -> None:
+        self.tracer = tracer
+
+    # -- individual events ----------------------------------------------------
+
+    def attach(self, cfg: "ControlConfig", m: int, p: int, theta0: float,
+               own_cap: bool) -> None:
+        if self.tracer is not None:
+            self.tracer.record(CONTROL, -1, -1, (
+                "attach", int(m), int(p), float(cfg.period),
+                float(cfg.cooldown), int(cfg.min_masters),
+                int(cfg.resolved_max_masters(p)), float(theta0),
+                bool(own_cap)))
+
+    def roles(self, master_ids: Sequence[int]) -> None:
+        if self.tracer is not None:
+            self.tracer.record(CONTROL, -1, -1,
+                               ("roles", tuple(int(i)
+                                               for i in sorted(master_ids))))
+
+    def estimate(self, a: Optional[float], r: Optional[float],
+                 w: Optional[float], rate: Optional[float],
+                 samples: int) -> None:
+        if self.tracer is not None:
+            self.tracer.record(CONTROL, -1, -1,
+                               ("estimate", a, r, w, rate, int(samples)))
+
+    def decision(self, m_target: Optional[int], m_current: int,
+                 theta_target: Optional[float], reason: str) -> None:
+        if self.tracer is not None:
+            self.tracer.record(CONTROL, -1, -1,
+                               ("decision", m_target, int(m_current),
+                                theta_target, reason))
+
+    def action(self, action: "ControlAction", applied: bool) -> None:
+        if self.tracer is not None:
+            self.tracer.record(CONTROL, -1, int(action.node_id),
+                               ("action", action.kind, int(action.node_id),
+                                action.value, bool(applied)))

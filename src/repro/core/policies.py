@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Optional, Protocol, Sequence
+from typing import Iterable, Optional, Protocol, Sequence
 
 import numpy as np
 
@@ -104,6 +104,26 @@ class Policy(abc.ABC):
     @property
     def num_masters(self) -> int:
         return len(self._masters)
+
+    def set_masters(self, master_ids: Iterable[int]) -> None:
+        """Replace the master/slave role split mid-run (control plane).
+
+        Only routing state changes: in-flight requests keep executing
+        where they were dispatched (the cluster tracks them by request
+        id, not by role), so a role transition is loss-free by
+        construction.  Subclasses holding derived per-role state extend
+        this.
+        """
+        ids = frozenset(int(i) for i in master_ids)
+        if not ids:
+            raise ValueError("at least one master/acceptor node is required")
+        if not all(0 <= i < self.num_nodes for i in ids):
+            raise ValueError("master ids out of range")
+        self.master_ids = ids
+        self._masters = np.array(sorted(ids), dtype=np.intp)
+        self._slaves = np.array(
+            sorted(set(range(self.num_nodes)) - ids), dtype=np.intp
+        )
 
     @abc.abstractmethod
     def route(self, request: Request, view: LoadView) -> Route:
@@ -420,6 +440,16 @@ class MSPolicy(Policy):
         """Current reservation cap, or ``None`` when reservation is off."""
         return self.reservation.theta_cap if self.reservation else None
 
+    def set_masters(self, master_ids: Iterable[int]) -> None:
+        """Role change plus reservation bookkeeping: the cap formula
+        theta_2(a, r, m, p) depends on the master count, so the
+        reservation controller's ``m`` follows the new split.  In-flight
+        bookkeeping (``_outstanding_*``, ``_dispatched_w``) is keyed by
+        node/request, not role, and is deliberately left alone."""
+        super().set_masters(master_ids)
+        if self.reservation is not None:
+            self.reservation.m = self.num_masters
+
 
 class FrontEndMSPolicy(MSPolicy):
     """The M/S scheduler as run by *one* accepting front end.
@@ -446,6 +476,15 @@ class FrontEndMSPolicy(MSPolicy):
                 f"accept_node {accept_node} is not a master "
                 f"(masters: {sorted(self.master_ids)})")
         self.accept_node = accept_node
+
+    def set_masters(self, master_ids: Iterable[int]) -> None:
+        """The accepting front end can never be demoted out from under
+        its own HTTP listener — statics execute here by construction."""
+        ids = frozenset(int(i) for i in master_ids)
+        if self.accept_node not in ids:
+            raise ValueError(
+                f"accept_node {self.accept_node} must remain a master")
+        super().set_masters(ids)
 
     def route(self, request: Request, view: LoadView) -> Route:
         if self.reservation is not None:
@@ -544,6 +583,11 @@ class HeteroMSPolicy(MSPolicy):
         self.cpu_speeds = cpu
         self.disk_speeds = disk
         master_caps = cpu[self._masters]
+        self._master_weights = master_caps / master_caps.sum()
+
+    def set_masters(self, master_ids: Iterable[int]) -> None:
+        super().set_masters(master_ids)
+        master_caps = self.cpu_speeds[self._masters]
         self._master_weights = master_caps / master_caps.sum()
 
     def _random_alive_master(self, view: LoadView) -> int:

@@ -65,7 +65,7 @@ class ReservationController:
     * :meth:`observe_response` on every completion.
     """
 
-    __slots__ = ("cfg", "m", "p", "theta_cap", "cap_scale",
+    __slots__ = ("cfg", "m", "p", "theta_cap", "cap_scale", "external_cap",
                  "master_fraction", "_resp_static", "_resp_dynamic",
                  "_arr_static", "_arr_dynamic", "_a_est", "_next_update",
                  "updates")
@@ -82,6 +82,11 @@ class ReservationController:
         #: External pressure multiplier on the cap (overload shedding
         #: tightens it toward 0 so masters keep serving static traffic).
         self.cap_scale = 1.0
+        #: When True, an attached control plane (repro.control) is the
+        #: sole writer of ``theta_cap``: the local response-ratio feedback
+        #: keeps estimating ``a``/``r`` but no longer actuates, so every
+        #: cap in force is traceable to a recorded CONTROL action.
+        self.external_cap = False
         #: EWMA of the fraction of dynamic requests sent to masters.
         self.master_fraction = 0.0
         self._resp_static: float | None = None
@@ -177,7 +182,8 @@ class ReservationController:
             self._arr_static = 0
             self._arr_dynamic = 0
         r_est = self.r_estimate
-        if self._a_est is not None and self._a_est > 0 and r_est is not None:
+        if (not self.external_cap and self._a_est is not None
+                and self._a_est > 0 and r_est is not None):
             self.theta_cap = reservation_ratio(self._a_est, r_est, self.m, self.p)
             self.updates += 1
         while self._next_update <= now:

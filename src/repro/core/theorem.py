@@ -63,16 +63,40 @@ def min_masters(w: Workload) -> int:
     return max(1, math.ceil(p * r / (a + r) - 1e-12))
 
 
+def _validate_ms_workload(w: Workload, where: str) -> None:
+    """Reject degenerate workloads with a diagnosis instead of letting a
+    ZeroDivisionError (or a cryptic root count) surface downstream.
+
+    Degenerate means: no dynamic traffic at all (``a = 0`` — the master/
+    slave split is meaningless, use the flat design; an all-dynamic
+    stream, the other extreme, is unrepresentable because ``Workload``
+    requires ``lam_h > 0``), or non-finite parameters from zero/NaN
+    demand estimates.
+    """
+    if w.a <= 0.0:
+        raise ValueError(
+            f"{where}: workload has no dynamic traffic (a = {w.a}); the "
+            "Theorem-1 quadratic is degenerate — every theta is "
+            "equivalent, use the flat design (m = p)")
+    if not all(math.isfinite(v) and v > 0.0 for v in (w.r, w.rho, w.a)):
+        raise ValueError(
+            f"{where}: non-finite or non-positive workload parameters "
+            f"(a={w.a}, r={w.r}, rho={w.rho}) — check for zero service "
+            "demands in the estimates")
+
+
 def theta_bounds(w: Workload, m: int) -> tuple[float, float]:
     """Roots ``(theta_1, theta_2)`` of the Theorem-1 quadratic for a given
     master count.
 
     For ``theta`` strictly inside the interval, ``SM(theta) < SF``; outside,
-    M/S loses to flat.  Raises if the workload is infeasible (then no
-    architecture is stable) or ``m`` leaves no slaves.
+    M/S loses to flat.  Raises ``ValueError`` if the workload is
+    infeasible (then no architecture is stable), degenerate (no dynamic
+    traffic, zero demands), or ``m`` leaves no slaves.
     """
     if not 1 <= m <= w.p - 1:
         raise ValueError(f"need 1 <= m <= p-1 for the M/S split; got m={m}")
+    _validate_ms_workload(w, "theta_bounds")
     if not w.feasible:
         raise ValueError(
             "offered load exceeds cluster capacity; every configuration is "
@@ -105,18 +129,24 @@ def theta_bounds(w: Workload, m: int) -> tuple[float, float]:
 
 def theta2_closed_form(w: Workload, m: int) -> float:
     """Unclamped closed-form upper root (see module docstring)."""
+    _validate_ms_workload(w, "theta2_closed_form")
     frac = m / w.p
     return frac + (w.r / w.a) * (frac - 1.0)
 
 
 def theta_feasible_interval(w: Workload, m: int) -> tuple[float, float]:
-    """Open interval of ``theta`` keeping both station classes stable."""
+    """Open interval of ``theta`` keeping both station classes stable.
+
+    Both ends are clamped into ``[0, 1]`` (theta is a fraction); an
+    *empty* interval — no theta stabilises this ``m``, e.g. masters
+    overloaded even at ``theta = 0`` — comes back as ``lo >= hi``.
+    """
     rho, a, r, p = w.rho, w.a, w.r, w.p
     # U_M < 1:  theta < (m/rho - 1) * r / a
     hi = (m / rho - 1.0) * r / a if a > 0 else 1.0
     # U_S < 1:  theta > 1 - r*(p-m) / (a*rho)
     lo = 1.0 - r * (p - m) / (a * rho) if a > 0 else 0.0
-    return max(0.0, lo), min(1.0, hi)
+    return min(1.0, max(0.0, lo)), min(1.0, max(0.0, hi))
 
 
 @dataclass(frozen=True, slots=True)
@@ -193,6 +223,7 @@ def optimal_masters(w: Workload, method: ThetaMethod = "midpoint") -> MSDesign:
     Sweeps every integer master count, picking the pair ``(m, theta_m)``
     with the smallest combined stretch.
     """
+    _validate_ms_workload(w, "optimal_masters")
     if not w.feasible:
         raise ValueError("offered load exceeds cluster capacity")
     best: Optional[MSDesign] = None

@@ -58,6 +58,7 @@ from repro.obs.trace import (
     ADMIT,
     ARRIVE,
     COMPLETE,
+    CONTROL,
     DENY,
     DISPATCH,
     DROP,
@@ -149,6 +150,12 @@ class PeerConnection:
                 if msg is None:
                     break
                 op = msg.get("op")
+                if op == "role_ok":
+                    # Control-plane ROLE frame acknowledged by the node
+                    # (not request-scoped, so handled before the
+                    # per-request call lookup).
+                    master._on_role_ack(self.node_id, msg)
+                    continue
                 call = self.pending.get(msg.get("id", -1))
                 if call is None:
                     continue
@@ -207,13 +214,23 @@ class LiveMetrics:
     def __init__(self) -> None:
         #: (req_id, kind, response, demand, remote, on_master)
         self.records: List[Tuple[int, int, float, float, bool, bool]] = []
+        #: Measured (cpu, io) seconds per record, same indexing as
+        #: :attr:`records`; the control plane's workload estimator reads
+        #: the CPU/disk split from here.
+        self.splits: List[Tuple[float, float]] = []
         self.denied = 0
         self.aborted = 0
 
     def observe(self, request: Request, response: float,
-                remote: bool, on_master: bool) -> None:
+                remote: bool, on_master: bool,
+                cpu: float = 0.0, io: float = 0.0) -> None:
         self.records.append((request.req_id, int(request.kind), response,
                              request.demand, remote, on_master))
+        if cpu <= 0.0 and io <= 0.0:
+            # No measurement reported: fall back to the request's nominal
+            # demand split so estimator ratios stay meaningful.
+            cpu, io = request.cpu_demand, request.io_demand
+        self.splits.append((cpu, io))
 
     def __len__(self) -> int:
         return len(self.records)
@@ -292,6 +309,8 @@ class MasterServer:
         self.arrived = 0
         self.completed = 0
         self.dropped = 0
+        #: (node_id, role) pairs for acknowledged control-plane ROLE frames.
+        self.role_acks: List[Tuple[int, str]] = []
         self.http_connections = 0
         self.http_port: Optional[int] = None
         self.udp_port: Optional[int] = None
@@ -369,6 +388,13 @@ class MasterServer:
                 data: Optional[tuple] = None) -> None:
         if self.tracer is not None:
             self.tracer.record(kind, req_id, node_id, data)
+
+    def _on_role_ack(self, node_id: int, msg: dict) -> None:
+        """A node acknowledged a control-plane ROLE frame."""
+        self.role_acks.append((node_id, str(msg.get("role", ""))))
+        self._record(CONTROL, -1, node_id,
+                     ("role_ack", node_id, str(msg.get("role", "")),
+                      int(msg.get("seq", 0))))
 
     def conservation(self) -> Dict[str, int]:
         """The live ledger, in the simulator's shape (for ``audit_spans``)."""
@@ -495,7 +521,8 @@ class MasterServer:
         response = self.clock.now - t_arrive
         self.completed += 1
         self.policy.on_complete(request, response, on_master, node)
-        self.metrics.observe(request, response, route.remote, on_master)
+        self.metrics.observe(request, response, route.remote, on_master,
+                             cpu=cpu_used, io=io_used)
         return {
             "status": "ok", "id": request.req_id, "node": node,
             "remote": route.remote, "on_master": on_master,

@@ -92,6 +92,11 @@ class CGIService:
         self.port: Optional[int] = None
         self.server: Optional[asyncio.base_events.Server] = None
         self.requests_served = 0
+        #: Role as announced by the control plane ("slave" until a ROLE
+        #: frame says otherwise); informational — execution is
+        #: role-agnostic.
+        self.role = "slave"
+        self.role_changes = 0
 
     async def start(self) -> int:
         """Bind the TCP endpoint; returns the assigned port."""
@@ -130,6 +135,21 @@ class CGIService:
                     async with lock:
                         protocol.send_message(
                             writer, {"op": "pong", "id": msg.get("id", 0)})
+                        await writer.drain()
+                elif op == "role":
+                    # Control-plane role transition (repro.control).
+                    # Execution is role-agnostic — in-flight CGI work
+                    # carries on (graceful role drain) — the node just
+                    # records its new role and acknowledges so the
+                    # master's trace shows the transition was observed.
+                    self.role = str(msg.get("role", self.role))
+                    self.role_changes += 1
+                    async with lock:
+                        protocol.send_message(
+                            writer, {"op": "role_ok",
+                                     "node": self.node_id,
+                                     "role": self.role,
+                                     "seq": msg.get("seq", 0)})
                         await writer.drain()
                 # Unknown ops are ignored: forward compatibility.
         except (protocol.ProtocolError, ConnectionResetError,

@@ -24,6 +24,17 @@ master -> node:
     seconds of simulated disk, then report back.
 ``{"op": "ping", "id": N}``
     Liveness probe; answered by ``pong``.
+``{"op": "role", "node": N, "role": "master"|"slave", "seq": K}``
+    Control-plane role transition (repro.control): the node is told it
+    has been promoted to master or demoted to slave.  Execution
+    semantics are unchanged — the node keeps serving whatever CGI
+    frames it is sent (a demoted master finishes its in-flight work,
+    the graceful-drain principle applied to the role) — the frame keeps
+    the node's own records in step and is acknowledged with
+    ``role_ok``.  Nodes predating this op ignore it (unknown ops are
+    skipped for forward compatibility), which is exactly the right
+    degraded behaviour: roles are enforced master-side by the dispatch
+    policy.
 
 node -> master (all tagged with the request id they concern):
 
@@ -37,6 +48,9 @@ node -> master (all tagged with the request id they concern):
 ``{"op": "error", "id": R, "reason": str}``
     Execution failed; the master aborts the request.
 ``{"op": "pong", "id": N}``
+``{"op": "role_ok", "node": N, "role": str, "seq": K}``
+    Acknowledges a ``role`` frame; the master records it as a CONTROL
+    span so the trace shows the node observed its transition.
 
 TCP preserves per-connection order, so a request's ``admit`` frame always
 arrives before its ``start``, and ``start`` before ``done`` — the master

@@ -23,6 +23,13 @@ collected and checks, offline:
 5. **Metric agreement** — per-request response and stretch recomputed
    from spans reproduce :meth:`MetricsCollector.report` exactly
    (count, mean response, mean stretch).
+6. **Control consistency** — when a control plane (repro.control) was
+   attached, every dispatch must agree with the configuration in force
+   at its timestamp: the master-role flag matches the membership
+   announced by the latest CONTROL ``roles`` span, and (when the
+   controller owned the cap) the effective theta'_2 equals the last
+   actuated cap times the shed scale.  Applied role actions must also
+   respect the controller's cooldown and master-count clamps.
 
 Every failed check becomes a :class:`Violation`; the run passes when the
 :class:`AuditReport` carries none.
@@ -41,6 +48,7 @@ from repro.obs.trace import (
     ARRIVE,
     BG_ADMIT,
     COMPLETE,
+    CONTROL,
     CPU_OFF,
     CPU_ON,
     DENY,
@@ -50,6 +58,7 @@ from repro.obs.trace import (
     IO_ON,
     LOST,
     RETRY,
+    SHED_LEVEL,
     START,
     TIMEOUT,
     Span,
@@ -353,6 +362,105 @@ def _check_stretch(first_arrive: Dict[int, float],
     report.count("stretch_samples", len(completions))
 
 
+def _check_control(spans: Sequence[Span], bg: set,
+                   report: AuditReport) -> None:
+    """Dispatches agree with the control-plane configuration in force.
+
+    Replays the CONTROL span stream (repro.control's event log) as a
+    state machine — current master set, last actuated theta'_2, shed
+    scale, last applied role action — and holds every subsequent
+    DISPATCH span to it.  No-op on streams without CONTROL spans, so
+    uncontrolled runs audit exactly as before.
+    """
+    masters: Optional[frozenset] = None
+    cooldown: Optional[float] = None
+    min_m = 1
+    max_m: Optional[int] = None
+    own_cap = False
+    cap: Optional[float] = None
+    shed_scale = 1.0
+    last_role_t: Optional[float] = None
+    pending_role: Optional[Tuple[str, int]] = None
+    events = 0
+    dispatches = 0
+
+    for idx, (t, kind, req, node, data) in enumerate(spans):
+        if kind == SHED_LEVEL and data is not None:
+            shed_scale = 0.0 if data[1] >= 1 else 1.0
+            continue
+        if kind == CONTROL:
+            events += 1
+            tag = data[0]
+            if tag == "attach":
+                _, _, _, cooldown, c_min, c_max, theta0, c_own = data[1:]
+                min_m, max_m = int(c_min), int(c_max)
+                own_cap = bool(c_own)
+                if own_cap:
+                    cap = float(theta0)
+            elif tag == "roles":
+                new_masters = frozenset(int(i) for i in data[1])
+                if pending_role is not None and masters is not None:
+                    act, target = pending_role
+                    expect = (masters | {target} if act == "promote"
+                              else masters - {target})
+                    if new_masters != expect:
+                        report.add(
+                            "control",
+                            f"roles {sorted(new_masters)} do not match the "
+                            f"applied {act} of node {target} from "
+                            f"{sorted(masters)}", idx)
+                pending_role = None
+                masters = new_masters
+            elif tag == "action":
+                _, act_kind, act_node, value, applied = data
+                if not applied:
+                    continue
+                if act_kind in ("promote", "demote"):
+                    if (last_role_t is not None and cooldown is not None
+                            and t - last_role_t < cooldown - 1e-9):
+                        report.add(
+                            "control",
+                            f"role action {act_kind!r} at t={t:.6f} only "
+                            f"{t - last_role_t:.6f}s after the previous one "
+                            f"(cooldown {cooldown})", idx)
+                    last_role_t = t
+                    pending_role = (act_kind, int(act_node))
+                    if masters is not None and max_m is not None:
+                        size = (len(masters) + 1 if act_kind == "promote"
+                                else len(masters) - 1)
+                        if not min_m <= size <= max(max_m, len(masters)):
+                            report.add(
+                                "control",
+                                f"{act_kind} leaves {size} masters, outside "
+                                f"the clamp [{min_m}, {max_m}]", idx)
+                elif act_kind == "retune_theta" and own_cap:
+                    cap = float(value)
+            continue
+        if kind != DISPATCH or data is None or req in bg:
+            continue
+        # data = (remote, is_master, w, rsrc, gate, eff_cap, master_frac)
+        is_master, gate, eff_cap = data[1], data[4], data[5]
+        if masters is not None:
+            dispatches += 1
+            if bool(is_master) != (node in masters):
+                report.add(
+                    "control",
+                    f"dispatch marked is_master={is_master} on node {node} "
+                    f"but the masters in force were {sorted(masters)}",
+                    idx, req)
+        if own_cap and gate is not None and cap is not None:
+            expected = cap * shed_scale
+            if abs(eff_cap - expected) > 1e-12:
+                report.add(
+                    "control",
+                    f"dispatch gated on cap {eff_cap!r} but the control "
+                    f"plane's cap in force was {cap!r} (shed scale "
+                    f"{shed_scale})", idx, req)
+    if events:
+        report.count("control_events", events)
+        report.count("control_dispatches", dispatches)
+
+
 # -- entry points -------------------------------------------------------------
 
 
@@ -385,6 +493,7 @@ def audit_spans(
     first_arrive, completions, terminals = _check_lifecycle(spans, bg, report)
     _check_exclusivity(spans, report, complete_run)
     _check_reservation(spans, bg, report)
+    _check_control(spans, bg, report)
     if conservation is not None:
         _check_conservation(first_arrive, terminals, conservation, report)
     if metrics_report is not None:

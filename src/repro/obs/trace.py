@@ -90,6 +90,13 @@ NODE_DRAIN = "node_drain"
 NODE_RETIRE = "node_retire"
 #: Overload shed level changed.  data=(old_level, new_level).
 SHED_LEVEL = "shed_level"
+#: Control-plane event (repro.control).  req_id == -1; node_id is the
+#: affected node for role actions, else -1.  data is a tagged tuple:
+#: ("attach", m, p, period, cooldown, min_m, max_m, theta0, own_cap),
+#: ("roles", (master ids...)), ("estimate", a, r, w, rate, samples),
+#: ("decision", m_target, m_current, theta_target, reason), or
+#: ("action", kind, node_id, value, applied).
+CONTROL = "control"
 #: Engine run finished.  data=(events_processed,).
 RUN = "run"
 

@@ -73,14 +73,19 @@ class MetricsCollector:
     cached conversion instead of re-materialising the arrays per call.
     """
 
-    __slots__ = ("arrivals", "finishes", "demands", "kinds", "nodes",
-                 "remotes", "on_master", "remote_dispatches",
+    __slots__ = ("arrivals", "finishes", "demands", "cpu_demands", "kinds",
+                 "nodes", "remotes", "on_master", "remote_dispatches",
                  "_snapshot", "_snapshot_len")
 
     def __init__(self) -> None:
         self.arrivals: List[float] = []
         self.finishes: List[float] = []
         self.demands: List[float] = []
+        #: CPU share of each demand (io = demand - cpu); the control
+        #: plane's workload estimator derives the RSRC weight ``w`` from
+        #: this split.  Not part of :meth:`snapshot` — reports don't use
+        #: it.
+        self.cpu_demands: List[float] = []
         self.kinds: List[int] = []
         self.nodes: List[int] = []
         self.remotes: List[bool] = []
@@ -95,6 +100,7 @@ class MetricsCollector:
         self.arrivals.append(req.arrival_time)
         self.finishes.append(proc.finish_time)
         self.demands.append(req.demand)
+        self.cpu_demands.append(req.cpu_demand)
         self.kinds.append(int(req.kind))
         self.nodes.append(proc.node_id)
         self.remotes.append(remote)

@@ -54,6 +54,21 @@ class LoadMonitor:
         """Schedule the first sampling tick."""
         self.engine.call_later(self.cfg.period, self._tick)
 
+    def reregister(self, node_id: int) -> None:
+        """Re-baseline one node's probe state after a role change.
+
+        Called by the control plane when it promotes a slave: the busy
+        counters restart from *now* so the first post-promotion sample
+        measures the node's utilisation in its new role instead of
+        averaging across the transition, and the probe freshness stamp
+        is renewed.  Unlike a recovery there is no probation — the node
+        was continuously monitored; only its duty cycle changed.
+        """
+        node = self.nodes[node_id]
+        self._last_cpu_busy[node_id] = node.cpu.busy_time
+        self._last_disk_busy[node_id] = node.disk.busy_time
+        self._last_probe_ok[node_id] = self.engine.now
+
     def _tick(self) -> None:
         now = self.engine.now
         window = now - self._last_sample_time

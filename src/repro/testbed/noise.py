@@ -54,7 +54,15 @@ class NoiseConfig:
 
 
 class BackgroundLoad:
-    """Injects Poisson background jobs into every node until ``stop_at``."""
+    """Injects Poisson background jobs into every node until ``stop_at``.
+
+    ``stop_at`` is a hard budget boundary: no job is injected at or past
+    it, and a job injected just before it has its demand clipped to the
+    remaining window, so the *injected* background demand never outlives
+    the stop time (a run's drain phase stays noise-free and deterministic
+    in length).  Every injection is logged on :attr:`injections` as
+    ``(inject_time, total_demand)`` for post-run assertions.
+    """
 
     def __init__(self, cluster: Cluster, cfg: NoiseConfig, stop_at: float):
         cfg.validate()
@@ -63,6 +71,8 @@ class BackgroundLoad:
         self.stop_at = stop_at
         self.rng = np.random.default_rng(cfg.seed)
         self.injected = 0
+        #: ``(inject_time, cpu + io demand)`` of every injected job.
+        self.injections: List[tuple] = []
         self._next_id = -1  # background req_ids are negative-ish markers
 
     def start(self) -> None:
@@ -74,15 +84,19 @@ class BackgroundLoad:
     def _schedule_next(self, node_id: int) -> None:
         gap = self.rng.exponential(1.0 / self.cfg.bg_rate)
         when = self.cluster.engine.now + gap
-        if when > self.stop_at:
+        if when >= self.stop_at:
             return
         self.cluster.engine.schedule(gap, self._inject, node_id)
 
     def _inject(self, node_id: int) -> None:
         cfg = self.cfg
-        demand = self.rng.exponential(cfg.bg_demand)
+        budget = self.stop_at - self.cluster.engine.now
+        if budget <= 0.0:        # at/past the boundary: nothing to inject
+            return
+        demand = min(self.rng.exponential(cfg.bg_demand), budget)
         cpu = max(demand * cfg.bg_cpu_fraction, 1e-6)
         io = demand * (1.0 - cfg.bg_cpu_fraction)
+        self.injections.append((self.cluster.engine.now, cpu + io))
         self._next_id += 1
         req = Request(
             req_id=10_000_000 + self._next_id,

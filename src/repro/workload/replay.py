@@ -9,7 +9,10 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import TYPE_CHECKING, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.control import ControlConfig
 
 from repro.core.policies import Policy
 from repro.core.sampling import DemandSampler
@@ -38,6 +41,10 @@ class ReplayResult:
 
     report: MetricsReport
     cluster: Cluster
+    #: The attached control loop when ``replay(control=...)`` was used
+    #: (``repro.control.SimControlLoop``); its controller exposes the
+    #: applied/proposed actions for post-mortems.
+    control: Optional[object] = None
 
     @property
     def stretch(self) -> float:
@@ -56,6 +63,7 @@ def replay(
     resilience: Optional[ResilienceConfig] = None,
     tracer: Optional[Tracer] = None,
     audit: Optional[bool] = None,
+    control: Optional["ControlConfig"] = None,
 ) -> ReplayResult:
     """Run one trace through one cluster configuration.
 
@@ -85,6 +93,12 @@ def replay(
         Implies tracing (a throwaway tracer is created if none was passed).
         ``None`` (default) defers to the ``REPRO_AUDIT`` environment
         variable, so whole suites can be audited without plumbing.
+    control:
+        A :class:`repro.control.ControlConfig` to arm the online control
+        plane for this run: a reconciliation loop estimates the workload
+        from completions and re-solves Theorem 1 periodically, retuning
+        theta'_2 / the RSRC weight and stepping the master set.  The
+        loop is returned on ``ReplayResult.control``.
     """
     if not requests:
         raise ValueError("empty trace")
@@ -96,6 +110,11 @@ def replay(
         tracer = Tracer()
     cluster = Cluster(cfg, policy, failure_policy=failure_policy,
                       resilience=resilience, tracer=tracer)
+    control_loop = None
+    if control is not None:
+        from repro.control import SimControlLoop
+
+        control_loop = SimControlLoop(cluster, control).start()
     first = min(q.arrival_time for q in requests)
     last = max(q.arrival_time for q in requests)
     warmup = first + (last - first) * warmup_fraction
@@ -114,7 +133,8 @@ def replay(
         )
     if audit:
         audit_cluster(cluster).raise_if_failed()
-    return ReplayResult(report=report, cluster=cluster)
+    return ReplayResult(report=report, cluster=cluster,
+                        control=control_loop)
 
 
 def pretrain_sampler(requests: Sequence[Request],

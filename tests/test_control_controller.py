@@ -1,0 +1,301 @@
+"""Unit tests for the reconciliation loop: hysteresis, cooldown, clamps,
+dry-run, and the CONTROL span log — driven through a fake adapter so
+every substrate behaviour is scripted."""
+
+import pytest
+
+from repro.control import (
+    DEMOTE,
+    PROMOTE,
+    RETUNE_THETA,
+    SET_W,
+    ControlConfig,
+    Controller,
+    ControlLog,
+    EstimatorConfig,
+)
+from repro.control.estimator import WorkloadEstimator
+from repro.core.queuing import Workload
+from repro.core.theorem import optimal_masters
+from repro.obs import Tracer
+from repro.obs.trace import CONTROL
+
+DS = 1.0 / 1200.0
+DD = 1.0 / 30.0
+
+
+class FakeAdapter:
+    """Scripted substrate: time, completions and role state by hand."""
+
+    def __init__(self, p=8, masters=(0, 1), theta=0.5, w=0.5):
+        self.t = 0.0
+        self.p = p
+        self.masters = sorted(masters)
+        self.theta = theta
+        self.w = w
+        self.owned = False
+        self.pending = []            # (kind, cpu, io) fed at next poll
+        self.apply_log = []
+
+    # observation --------------------------------------------------------------
+    @property
+    def now(self):
+        return self.t
+
+    @property
+    def num_nodes(self):
+        return self.p
+
+    def master_ids(self):
+        return tuple(self.masters)
+
+    def poll(self, estimator: WorkloadEstimator):
+        n = len(self.pending)
+        for kind, cpu, io in self.pending:
+            estimator.observe(kind, cpu, io)
+        self.pending = []
+        return n
+
+    def theta_cap(self):
+        return self.theta
+
+    def rsrc_w(self):
+        return self.w
+
+    def own_cap(self):
+        self.owned = True
+
+    # role candidates ----------------------------------------------------------
+    def promote_candidate(self):
+        for i in range(self.p):
+            if i not in self.masters:
+                return i
+        return None
+
+    def demote_candidate(self, min_masters):
+        if len(self.masters) <= min_masters:
+            return None
+        return self.masters[-1]
+
+    # actuation ----------------------------------------------------------------
+    def apply(self, action):
+        self.apply_log.append(action)
+        if action.kind == RETUNE_THETA:
+            self.theta = action.value
+        elif action.kind == SET_W:
+            self.w = action.value
+        elif action.kind == PROMOTE:
+            self.masters = sorted(self.masters + [action.node_id])
+        elif action.kind == DEMOTE:
+            self.masters = [i for i in self.masters
+                            if i != action.node_id]
+        return True
+
+    # scripting ----------------------------------------------------------------
+    def feed(self, n_static, n_dynamic, w=0.6, ds=DS, dd=DD):
+        self.pending += [(0, ds, 0.0)] * n_static
+        self.pending += [(1, w * dd, (1.0 - w) * dd)] * n_dynamic
+
+
+def fast_cfg(**kwargs):
+    kwargs.setdefault("period", 1.0)
+    kwargs.setdefault("cooldown", 0.0)
+    kwargs.setdefault("confirm_ticks", 1)
+    kwargs.setdefault("estimator",
+                      EstimatorConfig(min_class_samples=5, warm_windows=1))
+    return ControlConfig(**kwargs)
+
+
+def tick(controller, adapter, dt=1.0):
+    adapter.t += dt
+    return controller.tick()
+
+
+#: A feed whose Theorem-1 optimum is known: static-heavy at high rate,
+#: the drift benchmark's phase-1 mix (a ~ 0.05, r = 1/40, lam = 2000/s
+#: on p = 8 -> m* = 4).
+PROMOTE_FEED = dict(n_static=1900, n_dynamic=100)
+
+
+def expected_m(n_static, n_dynamic, p=8, rate=None):
+    a = n_dynamic / n_static
+    lam = rate if rate is not None else n_static + n_dynamic
+    w = Workload.from_ratios(lam=lam, a=a, mu_h=1200.0, r=1 / 40, p=p)
+    return optimal_masters(w).m
+
+
+class TestColdAndGuards:
+    def test_cold_window_never_actuates(self):
+        ad = FakeAdapter()
+        ctl = Controller(ad, fast_cfg())
+        for _ in range(3):
+            out = tick(ctl, ad)          # nothing fed: estimator cold
+            assert out == []
+        assert ad.apply_log == []
+        assert ctl.applied == []
+
+    def test_attach_takes_cap_ownership(self):
+        ad = FakeAdapter()
+        Controller(ad, fast_cfg()).attach()
+        assert ad.owned
+
+    def test_dry_run_proposes_but_never_touches(self):
+        ad = FakeAdapter(masters=(0, 1))
+        ctl = Controller(ad, fast_cfg(dry_run=True))
+        ctl.attach()
+        assert not ad.owned             # shadow mode: cap stays local
+        for _ in range(4):
+            ad.feed(**PROMOTE_FEED)
+            tick(ctl, ad)
+        assert ctl.proposed             # it wanted to act...
+        assert ctl.applied == []        # ...but touched nothing
+        assert ad.apply_log == []
+        assert ad.masters == [0, 1]
+
+
+class TestReconciliation:
+    def test_promotes_toward_theorem_target(self):
+        ad = FakeAdapter(masters=(0, 1))
+        ctl = Controller(ad, fast_cfg())
+        target = expected_m(**PROMOTE_FEED)
+        assert target > 2               # the scenario really wants more
+        for _ in range(8):
+            ad.feed(**PROMOTE_FEED)
+            tick(ctl, ad)
+        assert len(ad.masters) == target
+        assert ctl.last_design is not None
+        assert ctl.last_design.m == target
+
+    def test_one_role_step_per_tick(self):
+        ad = FakeAdapter(masters=(0, 1))
+        ctl = Controller(ad, fast_cfg())
+        ad.feed(**PROMOTE_FEED)
+        out = tick(ctl, ad)
+        promotes = [a for a in out if a.kind == PROMOTE]
+        assert len(promotes) == 1       # never jumps multiple nodes
+
+    def test_demotes_down_to_target(self):
+        ad = FakeAdapter(masters=(0, 1, 2, 3, 4, 5))
+        ctl = Controller(ad, fast_cfg())
+        # Low-rate mix: the optimum is fewer masters than current.
+        feed = dict(n_static=90, n_dynamic=30)
+        target = expected_m(**feed)
+        assert target < 6
+        for _ in range(10):
+            ad.feed(**feed)
+            tick(ctl, ad)
+        assert len(ad.masters) == target
+
+    def test_retune_follows_role_change(self):
+        ad = FakeAdapter(masters=(0, 1))
+        ctl = Controller(ad, fast_cfg())
+        ad.feed(**PROMOTE_FEED)
+        out = tick(ctl, ad)
+        kinds = [a.kind for a in out]
+        assert PROMOTE in kinds
+        # The cap formula depends on m: a role step forces the retune.
+        assert kinds.index(RETUNE_THETA) > kinds.index(PROMOTE)
+
+    def test_set_w_on_split_drift(self):
+        ad = FakeAdapter(masters=(0, 1), w=0.2)
+        ctl = Controller(ad, fast_cfg(max_masters=2))
+        ad.feed(n_static=90, n_dynamic=30, w=0.7)
+        tick(ctl, ad)
+        assert ad.w == pytest.approx(0.7)
+
+    def test_small_w_drift_suppressed(self):
+        ad = FakeAdapter(masters=(0, 1), w=0.62)
+        ctl = Controller(ad, fast_cfg(max_masters=2, w_tolerance=0.05))
+        ad.feed(n_static=90, n_dynamic=30, w=0.6)
+        tick(ctl, ad)
+        assert ad.w == 0.62             # |0.60 - 0.62| < tolerance
+
+
+class TestStability:
+    def test_hysteresis_needs_consecutive_confirmation(self):
+        ad = FakeAdapter(masters=(0, 1))
+        ctl = Controller(ad, fast_cfg(confirm_ticks=3))
+        for i in range(2):
+            ad.feed(**PROMOTE_FEED)
+            tick(ctl, ad)
+            assert ad.masters == [0, 1], f"acted after {i + 1} ticks"
+        ad.feed(**PROMOTE_FEED)
+        tick(ctl, ad)                    # third consecutive tick: act
+        assert len(ad.masters) == 3
+
+    def test_cooldown_spaces_role_steps(self):
+        ad = FakeAdapter(masters=(0, 1))
+        ctl = Controller(ad, fast_cfg(cooldown=5.0))
+        for _ in range(4):               # ticks at t=1..4: one promote max
+            ad.feed(**PROMOTE_FEED)
+            tick(ctl, ad)
+        assert len(ad.masters) == 3
+        for _ in range(3):               # t=5..7: cooldown expired at 6
+            ad.feed(**PROMOTE_FEED)
+            tick(ctl, ad)
+        assert len(ad.masters) == 4
+
+    def test_max_masters_clamp(self):
+        ad = FakeAdapter(masters=(0, 1))
+        ctl = Controller(ad, fast_cfg(max_masters=3))
+        for _ in range(8):
+            ad.feed(**PROMOTE_FEED)
+            tick(ctl, ad)
+        assert len(ad.masters) == 3      # wanted 4, clamped
+
+    def test_never_promotes_to_all_masters(self):
+        """Default upper clamp is p-1: the reservation gate needs slaves."""
+        ad = FakeAdapter(p=3, masters=(0, 1))
+        ctl = Controller(ad, fast_cfg())
+        for _ in range(8):
+            ad.feed(**PROMOTE_FEED)
+            tick(ctl, ad)
+        assert len(ad.masters) == 2
+
+    def test_min_masters_floor(self):
+        ad = FakeAdapter(masters=(0, 1, 2))
+        ctl = Controller(ad, fast_cfg(min_masters=2))
+        # CGI-heavy low-rate mix: the unconstrained optimum is m = 1.
+        feed = dict(n_static=30, n_dynamic=90)
+        assert expected_m(**feed) < 2
+        for _ in range(8):
+            ad.feed(**feed)
+            tick(ctl, ad)
+        assert len(ad.masters) == 2
+
+
+class TestControlLog:
+    def test_spans_cover_the_loop(self):
+        ad = FakeAdapter(masters=(0, 1))
+        tracer = Tracer(ad)              # any .now-bearing clock works
+        ctl = Controller(ad, fast_cfg(), ControlLog(tracer))
+        ctl.attach()
+        ad.feed(**PROMOTE_FEED)
+        tick(ctl, ad)
+        tags = [span[4][0] for span in tracer.spans
+                if span[1] == CONTROL]
+        assert "attach" in tags
+        assert "roles" in tags
+        assert "estimate" in tags
+        assert "decision" in tags
+        assert "action" in tags
+
+    def test_roles_span_follows_applied_step(self):
+        ad = FakeAdapter(masters=(0, 1))
+        tracer = Tracer(ad)
+        ctl = Controller(ad, fast_cfg(), ControlLog(tracer))
+        ad.feed(**PROMOTE_FEED)
+        tick(ctl, ad)
+        control = [s for s in tracer.spans if s[1] == CONTROL]
+        role_spans = [s for s in control if s[4][0] == "roles"]
+        # attach() logged the initial roles; the applied promote logged
+        # the new set.
+        assert len(role_spans) == 2
+        assert len(role_spans[-1][4][1]) == 3
+
+    def test_no_tracer_is_silent_noop(self):
+        ad = FakeAdapter(masters=(0, 1))
+        ctl = Controller(ad, fast_cfg(), ControlLog(None))
+        ad.feed(**PROMOTE_FEED)
+        tick(ctl, ad)                    # must not raise
+        assert ctl.applied

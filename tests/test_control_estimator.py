@@ -1,0 +1,127 @@
+"""Unit tests for the online Theorem-1 workload estimator."""
+
+import pytest
+
+from repro.control import EstimatorConfig, WorkloadEstimator
+
+# One "request" of each class at the paper's Section-5 operating point:
+# static demand 1/1200 s (pure CPU), dynamic demand 1/30 s split 60/40.
+DS = 1.0 / 1200.0
+DD = 1.0 / 30.0
+
+
+def feed(est, n_static, n_dynamic, w=0.6, ds=DS, dd=DD):
+    for _ in range(n_static):
+        est.observe(kind=0, cpu=ds, io=0.0)
+    for _ in range(n_dynamic):
+        est.observe(kind=1, cpu=w * dd, io=(1.0 - w) * dd)
+
+
+class TestConfig:
+    def test_defaults_validate(self):
+        EstimatorConfig().validate()
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(smoothing=0.0), dict(smoothing=1.5),
+        dict(min_class_samples=0), dict(warm_windows=0),
+    ])
+    def test_bad_values(self, kwargs):
+        with pytest.raises(ValueError):
+            EstimatorConfig(**kwargs).validate()
+
+
+class TestColdWindow:
+    def test_fresh_estimator_not_ready(self):
+        est = WorkloadEstimator()
+        assert not est.ready
+        assert est.workload(8) is None
+        snap = est.snapshot()
+        assert snap.a is None and snap.r is None and snap.w is None
+
+    def test_empty_fold_does_not_warm(self):
+        est = WorkloadEstimator(EstimatorConfig(min_class_samples=1,
+                                                warm_windows=1))
+        for _ in range(10):
+            snap = est.fold(elapsed=1.0)
+        assert not snap.ready
+
+    def test_single_class_never_ready(self):
+        """Static-only streams must never actuate: a is degenerate."""
+        est = WorkloadEstimator(EstimatorConfig(min_class_samples=2,
+                                                warm_windows=1))
+        for _ in range(5):
+            feed(est, n_static=100, n_dynamic=0)
+            est.fold(elapsed=1.0)
+        assert not est.ready
+        assert est.workload(8) is None
+
+    def test_warm_windows_guard(self):
+        est = WorkloadEstimator(EstimatorConfig(min_class_samples=1,
+                                                warm_windows=3))
+        for i in range(3):
+            feed(est, 50, 10)
+            snap = est.fold(elapsed=1.0)
+            assert snap.ready == (i == 2)
+
+    def test_min_class_samples_guard(self):
+        est = WorkloadEstimator(EstimatorConfig(min_class_samples=25,
+                                                warm_windows=1))
+        feed(est, 100, 10)           # dynamic count below the floor
+        est.fold(elapsed=1.0)
+        assert not est.ready
+        feed(est, 100, 20)           # lifetime dynamic now 30 >= 25
+        est.fold(elapsed=1.0)
+        assert est.ready
+
+
+class TestEstimates:
+    def test_recovers_known_parameters(self):
+        est = WorkloadEstimator(EstimatorConfig(min_class_samples=10,
+                                                warm_windows=2))
+        for _ in range(3):
+            feed(est, n_static=90, n_dynamic=30)
+            snap = est.fold(elapsed=1.0)
+        assert snap.ready
+        assert snap.a == pytest.approx(30 / 90)
+        assert snap.r == pytest.approx(DS / DD)      # = 1/40
+        assert snap.w == pytest.approx(0.6)
+        assert snap.rate == pytest.approx(120.0)
+
+    def test_workload_round_trip(self):
+        est = WorkloadEstimator(EstimatorConfig(min_class_samples=10,
+                                                warm_windows=1))
+        feed(est, 90, 30)
+        est.fold(elapsed=1.0)
+        w = est.workload(p=8)
+        assert w is not None
+        assert w.p == 8
+        assert w.a == pytest.approx(1 / 3)
+        assert w.r == pytest.approx(1 / 40)
+        assert w.mu_h == pytest.approx(1200.0)
+        assert w.lam_h + w.lam_c == pytest.approx(120.0)
+
+    def test_ewma_tracks_drift(self):
+        """After a step change in the mix, the EWMA converges to the new
+        ratio within a handful of windows."""
+        est = WorkloadEstimator(EstimatorConfig(smoothing=0.35,
+                                                min_class_samples=1,
+                                                warm_windows=1))
+        for _ in range(5):
+            feed(est, 80, 20)        # a = 0.25
+            est.fold(elapsed=1.0)
+        before = est.a
+        assert before == pytest.approx(0.25)
+        for _ in range(12):
+            feed(est, 50, 50)        # a = 1.0
+            snap = est.fold(elapsed=1.0)
+        assert snap.a == pytest.approx(1.0, rel=0.02)
+
+    def test_elapsed_zero_keeps_rate(self):
+        est = WorkloadEstimator(EstimatorConfig(min_class_samples=1,
+                                                warm_windows=1))
+        feed(est, 10, 10)
+        est.fold(elapsed=2.0)
+        rate = est.rate
+        feed(est, 10, 10)
+        est.fold(elapsed=0.0)        # degenerate tick: rate unchanged
+        assert est.rate == rate

@@ -148,3 +148,34 @@ class TestCLI:
             main(["--version"])
         assert exc.value.code == 0
         assert "repro" in capsys.readouterr().out
+
+
+class TestHelpCoverage:
+    """Satellite guard: ``python -m repro`` (bare) lists every registered
+    subcommand — a new verb wired into ``build_parser`` without a help
+    line would otherwise be undiscoverable."""
+
+    @staticmethod
+    def _registered():
+        parser = build_parser()
+        actions = [a for a in parser._subparsers._group_actions
+                   if hasattr(a, "choices")]
+        return parser, sorted(actions[0].choices)
+
+    def test_every_subcommand_listed_in_help(self):
+        parser, commands = self._registered()
+        help_text = parser.format_help()
+        for name in commands:
+            assert name in help_text, (
+                f"subcommand {name!r} missing from --help output")
+
+    def test_control_registered(self):
+        _, commands = self._registered()
+        assert "control" in commands
+
+    def test_bare_help_matches_registry(self, capsys):
+        main([])
+        err = capsys.readouterr().err
+        _, commands = self._registered()
+        for name in commands:
+            assert name in err

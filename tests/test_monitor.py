@@ -70,3 +70,35 @@ class TestSampling:
         assert monitor.cpu_idle[0] == pytest.approx(1.0)
         engine.run(until=0.6)  # after the tick
         assert monitor.cpu_idle[0] < 0.8
+
+
+class TestReregister:
+    """Role changes re-baseline a node's probe state (control plane)."""
+
+    def test_rebaseline_discards_pre_promotion_busy(self, engine):
+        cfg, nodes, monitor = build(engine, period=1.0)
+        # Saturate node 1 before the "promotion"...
+        for i in range(20):
+            nodes[1].admit(make_cgi(req_id=i, cpu=0.040, io=0.0,
+                                    mem_pages=0))
+        engine.run(until=0.9)
+        # ...then re-register just before the sampling tick: the busy
+        # seconds accumulated in the old role must not pollute the first
+        # sample taken in the new one.
+        monitor.reregister(1)
+        engine.run(until=1.05)
+        assert monitor.cpu_idle[1] > 0.5
+
+    def test_without_rebaseline_sample_is_polluted(self, engine):
+        cfg, nodes, monitor = build(engine, period=1.0)
+        for i in range(20):
+            nodes[i % 2].admit(make_cgi(req_id=i, cpu=0.080, io=0.0,
+                                        mem_pages=0))
+        engine.run(until=1.05)
+        assert monitor.cpu_idle[1] < 0.5
+
+    def test_probe_freshness_renewed(self, engine):
+        cfg, nodes, monitor = build(engine)
+        engine.run(until=0.5)
+        monitor.reregister(0)
+        assert monitor._last_probe_ok[0] == pytest.approx(0.5)

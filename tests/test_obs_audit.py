@@ -196,3 +196,97 @@ class TestTamperDetection:
         spans[idx] = (t + 5.0, kind, req, node, data)
         report = audit_spans(spans, metrics_report=cluster.metrics.report())
         assert _violations(report, "stretch")
+
+
+class TestControlAudit:
+    """The control pass: every dispatch must match the CONTROL-span
+    configuration in force, and role actions must respect cooldown."""
+
+    ATTACH = ("attach", 2, 4, 0.5, 2.0, 1, 3, 0.40, True)
+
+    def _base(self):
+        from repro.obs.trace import CONTROL
+
+        return CONTROL, [
+            (0.0, CONTROL, -1, -1, self.ATTACH),
+            (0.0, CONTROL, -1, -1, ("roles", (0, 1))),
+        ]
+
+    def test_consistent_stream_audits_clean(self):
+        CONTROL, spans = self._base()
+        spans += [
+            (0.1, ARRIVE, 0, -1, (1, 0.5)),
+            # On-master dynamic dispatch under the attached cap 0.40.
+            (0.1, DISPATCH, 0, 1, (False, True, 0.7, 1.1, True, 0.40, 0.1)),
+            (1.0, CONTROL, -1, 2, ("action", "promote", 2, None, True)),
+            (1.0, CONTROL, -1, -1, ("roles", (0, 1, 2))),
+            (1.0, CONTROL, -1, -1,
+             ("action", "retune_theta", -1, 0.30, True)),
+            (1.2, ARRIVE, 1, -1, (1, 0.5)),
+            (1.2, DISPATCH, 1, 2, (True, True, 0.7, 1.1, True, 0.30, 0.1)),
+        ]
+        report = audit_spans(spans, complete_run=False)
+        assert not _violations(report, "control"), report.render()
+        assert report.checked["control_events"] == 5
+        assert report.checked["control_dispatches"] == 2
+
+    def test_forged_eff_cap_detected(self):
+        CONTROL, spans = self._base()
+        spans += [
+            (0.1, ARRIVE, 0, -1, (1, 0.5)),
+            # Gate evaluated against 0.35, but the control plane owns the
+            # cap and last actuated 0.40.
+            (0.1, DISPATCH, 0, 1, (False, True, 0.7, 1.1, True, 0.35, 0.1)),
+        ]
+        report = audit_spans(spans, complete_run=False)
+        bad = _violations(report, "control")
+        assert any("cap in force" in v.message for v in bad)
+
+    def test_cooldown_violation_detected(self):
+        CONTROL, spans = self._base()
+        spans += [
+            (1.0, CONTROL, -1, 2, ("action", "promote", 2, None, True)),
+            (1.0, CONTROL, -1, -1, ("roles", (0, 1, 2))),
+            # Only 0.5s later: inside the attach-declared 2.0s cooldown.
+            (1.5, CONTROL, -1, 3, ("action", "promote", 3, None, True)),
+            (1.5, CONTROL, -1, -1, ("roles", (0, 1, 2, 3))),
+        ]
+        report = audit_spans(spans, complete_run=False)
+        bad = _violations(report, "control")
+        assert any("cooldown" in v.message for v in bad)
+
+    def test_roles_mismatch_detected(self):
+        CONTROL, spans = self._base()
+        spans += [
+            (1.0, CONTROL, -1, 2, ("action", "promote", 2, None, True)),
+            # The promote said node 2, but the roles span shows node 3.
+            (1.0, CONTROL, -1, -1, ("roles", (0, 1, 3))),
+        ]
+        report = audit_spans(spans, complete_run=False)
+        bad = _violations(report, "control")
+        assert any("do not match" in v.message for v in bad)
+
+    def test_role_flag_mismatch_detected(self):
+        CONTROL, spans = self._base()
+        spans += [
+            (0.1, ARRIVE, 0, -1, (1, 0.5)),
+            # Node 3 is a slave, yet the dispatch claims is_master.
+            (0.1, DISPATCH, 0, 3, (True, True, 0.7, 1.1, True, 0.40, 0.1)),
+        ]
+        report = audit_spans(spans, complete_run=False)
+        bad = _violations(report, "control")
+        assert any("masters in force" in v.message for v in bad)
+
+    def test_dry_run_actions_do_not_drive_state(self):
+        """applied=False actions (dry-run / refused) must not advance the
+        auditor's role state or trip the cooldown check."""
+        CONTROL, spans = self._base()
+        spans += [
+            (1.0, CONTROL, -1, 2, ("action", "promote", 2, None, False)),
+            (1.1, CONTROL, -1, 2, ("action", "promote", 2, None, False)),
+            (1.2, ARRIVE, 0, -1, (1, 0.5)),
+            # Masters still (0, 1): node 2 dispatches as a slave.
+            (1.2, DISPATCH, 0, 2, (True, False, 0.7, 1.1, True, 0.40, 0.1)),
+        ]
+        report = audit_spans(spans, complete_run=False)
+        assert not _violations(report, "control"), report.render()

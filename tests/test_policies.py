@@ -241,3 +241,57 @@ class TestFactory:
         assert not make_ms_nr(8, 2).use_reservation
         assert make_ms_1(8).num_masters == 8
         assert not make_ms_1(8).use_reservation  # no slaves to protect
+
+
+class TestSetMasters:
+    """Mid-run role reconfiguration (the control plane's actuation)."""
+
+    def test_swaps_role_arrays(self):
+        policy = make_ms(8, 2, seed=1)
+        policy.set_masters({0, 1, 4})
+        assert policy.master_ids == frozenset({0, 1, 4})
+        assert policy.num_masters == 3
+        assert list(policy._masters) == [0, 1, 4]
+        assert list(policy._slaves) == [2, 3, 5, 6, 7]
+
+    def test_reservation_m_follows(self):
+        policy = make_ms(8, 2, seed=1)
+        assert policy.reservation.m == 2
+        policy.set_masters({0, 1, 2, 3})
+        assert policy.reservation.m == 4
+
+    def test_empty_set_rejected(self):
+        policy = make_ms(8, 2)
+        with pytest.raises(ValueError, match="at least one master"):
+            policy.set_masters(set())
+
+    def test_out_of_range_rejected(self):
+        policy = make_ms(8, 2)
+        with pytest.raises(ValueError, match="out of range"):
+            policy.set_masters({0, 8})
+
+    def test_front_end_keeps_accept_node(self):
+        from repro.core.policies import FrontEndMSPolicy
+
+        policy = FrontEndMSPolicy(8, 2, accept_node=0, seed=1)
+        with pytest.raises(ValueError, match="must remain a master"):
+            policy.set_masters({1, 2})
+        policy.set_masters({0, 2})      # keeping the front end is fine
+        assert policy.master_ids == frozenset({0, 2})
+
+    def test_hetero_reweights_static_dispatch(self):
+        from repro.core.policies import HeteroMSPolicy
+
+        speeds = [4.0, 1.0, 1.0, 1.0]
+        policy = HeteroMSPolicy(4, 2, cpu_speeds=speeds, seed=1)
+        assert policy._master_weights == pytest.approx([0.8, 0.2])
+        policy.set_masters({1, 2})
+        assert policy._master_weights == pytest.approx([0.5, 0.5])
+
+    def test_routing_uses_new_masters(self):
+        policy = make_ms(4, 1, seed=1)
+        view = FakeView(4)
+        policy.set_masters({3})
+        for i in range(10):
+            route = policy.route(make_static(req_id=i), view)
+            assert route.node_id == 3

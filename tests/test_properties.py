@@ -206,3 +206,50 @@ class TestEngineProperties:
         rate = (len(scaled) - 1) / (scaled[-1] - scaled[0])
         assert rate == pytest.approx(target, rel=1e-6)
         assert (np.diff(scaled) >= -1e-12).all()
+
+
+# -- Theorem-1 interval properties (control-plane satellite) ------------------
+
+
+class TestThetaIntervalProperties:
+    @given(w=feasible_workloads, frac=st.floats(0.05, 0.95))
+    @settings(max_examples=200, deadline=None)
+    def test_feasible_interval_within_unit_interval(self, w, frac):
+        from repro.core.theorem import theta_feasible_interval
+
+        m = max(1, min(w.p - 1, int(round(frac * w.p))))
+        lo, hi = theta_feasible_interval(w, m)
+        assert 0.0 <= lo <= 1.0
+        assert 0.0 <= hi <= 1.0
+
+    @given(w=feasible_workloads, frac=st.floats(0.05, 0.95))
+    @settings(max_examples=200, deadline=None)
+    def test_theta_opt_inside_clamped_bounds(self, w, frac):
+        from repro.core.theorem import theta_opt
+
+        assume(w.p >= 3)
+        m = max(1, min(w.p - 1, int(round(frac * w.p))))
+        try:
+            t1, t2 = theta_bounds(w, m)
+        except (ValueError, ArithmeticError):
+            assume(False)
+        theta = theta_opt(w, m)
+        assert 0.0 <= theta <= 1.0
+        # The paper's midpoint rule, clamped into [0, 1].
+        assert theta == pytest.approx(
+            min(1.0, max((t1 + t2) / 2.0, 0.0)))
+
+    @given(w=feasible_workloads, frac=st.floats(0.05, 0.95))
+    @settings(max_examples=200, deadline=None)
+    def test_interval_interior_is_stable(self, w, frac):
+        from repro.core.queuing import ms_utilizations
+        from repro.core.theorem import theta_feasible_interval
+
+        assume(w.p >= 3)
+        m = max(1, min(w.p - 1, int(round(frac * w.p))))
+        lo, hi = theta_feasible_interval(w, m)
+        assume(hi - lo > 1e-6)
+        mid = (lo + hi) / 2.0
+        u_master, u_slave = ms_utilizations(w, m, mid)
+        assert u_master < 1.0 + 1e-9
+        assert u_slave < 1.0 + 1e-9

@@ -122,3 +122,42 @@ class TestValidation:
             ReservationConfig(smoothing=0).validate()
         with pytest.raises(ValueError):
             ReservationConfig(theta_init=2).validate()
+
+
+class TestExternalCap:
+    """With ``external_cap`` set (control plane owns theta'_2), the
+    local feedback loop keeps estimating but stops actuating."""
+
+    def test_update_frozen_under_external_cap(self):
+        cfg = ReservationConfig(theta_init=0.3, update_period=1.0)
+        ctrl = ReservationController(4, 32, cfg)
+        ctrl.external_cap = True
+        for t in range(1, 6):
+            ctrl.observe_response(RequestKind.STATIC, 0.01)
+            ctrl.observe_response(RequestKind.DYNAMIC, 0.40)
+            feed(ctrl, float(t), n_static=40, n_dynamic=20)
+        assert ctrl.theta_cap == 0.3     # exactly as externally set
+        assert ctrl.updates == 0
+
+    def test_estimation_continues(self):
+        cfg = ReservationConfig(theta_init=0.3, update_period=1.0,
+                                smoothing=1.0)
+        ctrl = ReservationController(4, 32, cfg)
+        ctrl.external_cap = True
+        feed(ctrl, 1.0, n_static=40, n_dynamic=20)
+        # The next window boundary folds the accumulated counts in.
+        feed(ctrl, 2.0, n_static=1, n_dynamic=0)
+        assert ctrl.a_estimate == pytest.approx(20 / 41)
+
+    def test_release_resumes_actuation(self):
+        cfg = ReservationConfig(theta_init=0.9, update_period=1.0)
+        ctrl = ReservationController(4, 32, cfg)
+        ctrl.external_cap = True
+        ctrl.observe_response(RequestKind.STATIC, 0.01)
+        ctrl.observe_response(RequestKind.DYNAMIC, 0.40)
+        feed(ctrl, 1.0, n_static=40, n_dynamic=20)
+        assert ctrl.updates == 0
+        ctrl.external_cap = False
+        feed(ctrl, 2.0, n_static=40, n_dynamic=20)
+        assert ctrl.updates == 1
+        assert ctrl.theta_cap != 0.9

@@ -111,3 +111,52 @@ class TestEmulator:
     def test_empty_trace_rejected(self):
         with pytest.raises(ValueError):
             replay_on_testbed(make_ms(6, 3), [])
+
+
+class TestBackgroundStopBoundary:
+    """Regression (control-plane PR): injected background demand must
+    never outlive ``stop_at`` — long-tailed exponential demands drawn
+    just before the boundary used to spill into the drain phase and
+    perturb post-trace measurements."""
+
+    def _run(self, stop_at=2.0, bg_demand=1.5, seed=3):
+        # A huge mean demand makes any unclipped draw obvious.
+        tb = TestbedConfig()
+        cluster = Cluster(tb.sim_config(), FlatPolicy(tb.num_nodes, seed=1))
+        bg = BackgroundLoad(
+            cluster, NoiseConfig(bg_rate=4.0, bg_demand=bg_demand,
+                                 seed=seed), stop_at=stop_at)
+        bg.start()
+        cluster.run(until=stop_at + 60.0)
+        return bg
+
+    def test_no_injection_at_or_past_stop(self):
+        bg = self._run()
+        assert bg.injected > 0
+        assert all(t < bg.stop_at for t, _ in bg.injections)
+
+    def test_injected_demand_clipped_to_budget(self):
+        bg = self._run()
+        # The CPU floor (1e-6 s, keeps the burst planner happy) is the
+        # only permitted overshoot.
+        assert all(t + demand <= bg.stop_at + 1e-6
+                   for t, demand in bg.injections)
+        # With mean demand 1.5s against a 2s window, clipping must have
+        # actually engaged for at least one draw.
+        assert any(t + demand >= bg.stop_at - 1e-9
+                   for t, demand in bg.injections)
+
+    def test_no_bg_admit_span_after_stop(self):
+        from repro.obs import Tracer
+        from repro.obs.trace import BG_ADMIT
+
+        tb = TestbedConfig()
+        cluster = Cluster(tb.sim_config(), FlatPolicy(tb.num_nodes, seed=1),
+                          tracer=Tracer())
+        bg = BackgroundLoad(cluster, NoiseConfig(bg_rate=4.0, seed=5),
+                            stop_at=1.5)
+        bg.start()
+        cluster.run(until=30.0)
+        bg_spans = [s for s in cluster.tracer.spans if s[1] == BG_ADMIT]
+        assert bg_spans
+        assert all(s[0] < 1.5 for s in bg_spans)

@@ -178,3 +178,39 @@ class TestThetaOpt:
     def test_unknown_method(self, w):
         with pytest.raises(ValueError):
             theta_opt(w, 8, "magic")
+
+
+class TestDegenerateWorkloads:
+    """Validation satellite: estimator edge cases (a = 0, zero demands)
+    must produce diagnoses, not ZeroDivisionErrors."""
+
+    @pytest.fixture
+    def static_only(self):
+        # a = 0: all-static stream, the master/slave split is meaningless.
+        return Workload.from_ratios(lam=500, a=0.0, mu_h=1200, r=1 / 40,
+                                    p=16)
+
+    def test_theta_bounds_diagnoses_no_dynamic_traffic(self, static_only):
+        with pytest.raises(ValueError, match="no dynamic traffic"):
+            theta_bounds(static_only, 4)
+
+    def test_closed_form_diagnoses_no_dynamic_traffic(self, static_only):
+        with pytest.raises(ValueError, match="flat design"):
+            theta2_closed_form(static_only, 4)
+
+    def test_optimal_masters_diagnoses_no_dynamic_traffic(self, static_only):
+        with pytest.raises(ValueError, match="no dynamic traffic"):
+            optimal_masters(static_only)
+
+    def test_nonfinite_parameters_diagnosed(self):
+        # Zero/NaN demand estimates show up as infinite mu (1/0 demand).
+        bad = Workload(lam_h=100, lam_c=50, mu_h=math.inf,
+                       mu_c=math.inf, p=16)
+        with pytest.raises(ValueError, match="non-finite or non-positive"):
+            theta_bounds(bad, 4)
+
+    def test_message_names_call_site(self, static_only):
+        with pytest.raises(ValueError, match="theta_bounds:"):
+            theta_bounds(static_only, 4)
+        with pytest.raises(ValueError, match="theta2_closed_form:"):
+            theta2_closed_form(static_only, 4)
